@@ -1,0 +1,1 @@
+"""pytest-benchmark suite regenerating every table and figure of the paper."""

@@ -1,0 +1,18 @@
+"""Ablation — candidate counts (filter quality) of every join algorithm."""
+
+from repro.bench.experiments import ablation_filter_quality
+
+from .conftest import BENCH_SCALE, record_table
+
+
+def test_filter_quality_ablation(benchmark):
+    table = benchmark.pedantic(
+        lambda: ablation_filter_quality(scale=BENCH_SCALE * 0.6, name="author",
+                                        tau=2),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    rows = {row["algorithm"]: row for row in table.rows}
+    assert len({row["results"] for row in rows.values()}) == 1
+    # Pass-Join's segment filter produces far fewer candidates than the
+    # brute-force length filter.
+    assert rows["pass-join"]["candidates"] < rows["naive"]["candidates"]

@@ -1,0 +1,19 @@
+"""Ablation — banded-DP verification vs the bit-parallel Myers kernel.
+
+Beyond the paper: the verification slot of Pass-Join is pluggable, and this
+ablation compares the paper's threshold-aware kernel against a bit-parallel
+kernel that ignores the threshold.  Both must return identical results.
+"""
+
+from repro.bench.experiments import ablation_verifier_kernels
+
+from .conftest import BENCH_SCALE, record_table
+
+
+def test_verifier_kernel_ablation(benchmark):
+    table = benchmark.pedantic(
+        lambda: ablation_verifier_kernels(scale=BENCH_SCALE, name="querylog",
+                                          tau=6),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    assert len({row["results"] for row in table.rows}) == 1

@@ -1,0 +1,40 @@
+"""Micro-benchmarks of the edit-distance kernels (supporting Figure 14).
+
+These measure the per-pair verification kernels in isolation — useful when
+tuning the kernels without rerunning whole joins.
+"""
+
+import pytest
+
+from repro.datasets import generate_querylog_dataset
+from repro.distance import (banded_edit_distance, edit_distance,
+                            length_aware_edit_distance, myers_edit_distance)
+
+
+@pytest.fixture(scope="module")
+def string_pairs():
+    strings = sorted(generate_querylog_dataset(200, seed=7), key=len)
+    return list(zip(strings[:-1], strings[1:]))
+
+
+def _run(kernel, pairs, *args):
+    total = 0
+    for a, b in pairs:
+        total += kernel(a, b, *args)
+    return total
+
+
+def test_kernel_full_dp(benchmark, string_pairs):
+    benchmark(_run, edit_distance, string_pairs)
+
+
+def test_kernel_banded(benchmark, string_pairs):
+    benchmark(_run, banded_edit_distance, string_pairs, 4)
+
+
+def test_kernel_length_aware(benchmark, string_pairs):
+    benchmark(_run, length_aware_edit_distance, string_pairs, 4)
+
+
+def test_kernel_myers(benchmark, string_pairs):
+    benchmark(_run, myers_edit_distance, string_pairs)

@@ -1,0 +1,19 @@
+"""Figure 11 — string-length distributions of the three datasets."""
+
+from repro.bench.experiments import fig11_length_distribution
+
+from .conftest import BENCH_SCALE, record_table
+
+
+def test_fig11_length_distribution(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig11_length_distribution(scale=BENCH_SCALE, bucket_size=5),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    # Every dataset contributes a unimodal-ish histogram whose mass sits in
+    # the length regime the paper describes (short / medium / long).
+    def peak_bucket(name):
+        rows = table.filter_rows(dataset=name)
+        return max(rows, key=lambda row: row["num_strings"])["length_bucket"]
+
+    assert peak_bucket("author") < peak_bucket("querylog") < peak_bucket("title")

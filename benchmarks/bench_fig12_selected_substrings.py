@@ -1,0 +1,31 @@
+"""Figure 12 — number of selected substrings of the four selection methods.
+
+Paper shape: Multi-match <= Position <= Shift <= Length on every dataset and
+threshold, with roughly an order of magnitude between Multi-match and Length.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig12_selected_substrings
+
+from .conftest import BENCH_SCALE, record_table
+
+SWEEPS = {
+    "author": {"author": (1, 2, 3, 4)},
+    "querylog": {"querylog": (4, 6, 8)},
+    "title": {"title": (5, 7, 10)},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SWEEPS))
+def test_fig12_selected_substrings(benchmark, dataset):
+    table = benchmark.pedantic(
+        lambda: fig12_selected_substrings(scale=BENCH_SCALE, names=[dataset],
+                                          taus=SWEEPS[dataset]),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    for tau in SWEEPS[dataset][dataset]:
+        counts = {row["method"]: row["selected_substrings"]
+                  for row in table.filter_rows(tau=tau)}
+        assert counts["multi-match"] <= counts["position"] \
+            <= counts["shift"] <= counts["length"]

@@ -1,0 +1,31 @@
+"""Figure 13 — elapsed time for generating (selecting) substrings.
+
+Paper shape: the multi-match-aware method is the fastest because it selects
+the fewest substrings; the length-based method is the slowest.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig13_selection_time
+
+from .conftest import BENCH_SCALE, record_table
+
+SWEEPS = {
+    "author": {"author": (2, 4)},
+    "title": {"title": (6, 10)},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SWEEPS))
+def test_fig13_selection_time(benchmark, dataset):
+    table = benchmark.pedantic(
+        lambda: fig13_selection_time(scale=BENCH_SCALE, names=[dataset],
+                                     taus=SWEEPS[dataset]),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    for tau in SWEEPS[dataset][dataset]:
+        seconds = {row["method"]: row["selection_seconds"]
+                   for row in table.filter_rows(tau=tau)}
+        # Timing noise at this scale is real; require the headline ordering
+        # (the paper's Multi-match vs Length gap is large enough to survive it).
+        assert seconds["multi-match"] <= seconds["length"] * 1.5

@@ -1,0 +1,33 @@
+"""Figure 14 — elapsed time of the four verification strategies.
+
+Paper shape: SharePrefix <= Extension <= tau+1 (length-aware) <= 2tau+1
+(banded).  At benchmark scale wall-clock differences are noisy, so the
+assertions are made on the deterministic work counter (DP cells computed),
+which is what drives the elapsed-time ordering the paper reports.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig14_verification
+
+from .conftest import BENCH_SCALE, record_table
+
+SWEEPS = {
+    "author": {"author": (2, 4)},
+    "querylog": {"querylog": (4, 8)},
+    "title": {"title": (6, 10)},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SWEEPS))
+def test_fig14_verification(benchmark, dataset):
+    table = benchmark.pedantic(
+        lambda: fig14_verification(scale=BENCH_SCALE, names=[dataset],
+                                   taus=SWEEPS[dataset]),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    for tau in SWEEPS[dataset][dataset]:
+        rows = {row["method"]: row for row in table.filter_rows(tau=tau)}
+        assert len({row["results"] for row in rows.values()}) == 1
+        assert rows["length-aware"]["matrix_cells"] <= rows["banded"]["matrix_cells"]
+        assert rows["share-prefix"]["matrix_cells"] <= rows["extension"]["matrix_cells"]

@@ -1,0 +1,38 @@
+"""Figure 16 — Pass-Join elapsed time as the number of strings grows.
+
+Paper shape: near-linear growth of the join time with the collection size
+(the paper reports e.g. 360/530/700 seconds for 400k/500k/600k author
+strings at tau=4 — close to linear).  At benchmark scale we assert that the
+growth from the smallest to the largest step is clearly sub-quadratic.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig16_scalability
+
+from .conftest import BENCH_SCALE, record_table
+
+CASES = {
+    "author": {"author": (2, 4)},
+    "querylog": {"querylog": (6,)},
+    "title": {"title": (8,)},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(CASES))
+def test_fig16_scalability(benchmark, dataset):
+    table = benchmark.pedantic(
+        lambda: fig16_scalability(scale=BENCH_SCALE, names=[dataset],
+                                  taus=CASES[dataset], steps=4),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    for tau in CASES[dataset][dataset]:
+        rows = table.filter_rows(tau=tau)
+        sizes = [row["num_strings"] for row in rows]
+        times = [row["total_seconds"] for row in rows]
+        assert sizes == sorted(sizes)
+        # Sub-quadratic growth: time ratio grows at most ~quadratically more
+        # slowly than the square of the size ratio, with slack for noise.
+        size_ratio = sizes[-1] / sizes[0]
+        time_ratio = times[-1] / max(times[0], 1e-9)
+        assert time_ratio <= (size_ratio ** 2) * 1.5

@@ -1,0 +1,19 @@
+"""Table 2 — dataset cardinality and length statistics.
+
+Regenerates the Table 2 row (cardinality, average/max/min length) for the
+three synthetic stand-in datasets and benchmarks dataset generation itself.
+"""
+
+from repro.bench.experiments import table2_dataset_statistics
+
+from .conftest import BENCH_SCALE, record_table
+
+
+def test_table2_dataset_statistics(benchmark):
+    table = benchmark.pedantic(
+        lambda: table2_dataset_statistics(scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    # Shape check: the length ordering of Table 2 (author < querylog < title).
+    averages = {row["dataset"]: row["avg_len"] for row in table.rows}
+    assert averages["author"] < averages["querylog"] < averages["title"]

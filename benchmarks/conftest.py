@@ -1,0 +1,34 @@
+"""Shared configuration for the pytest-benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (see EXPERIMENTS.md for the scale discussion) and attaches the
+resulting table to the benchmark's ``extra_info`` so it appears in
+``--benchmark-json`` output; run with ``-s`` to also see the tables printed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.reporting import format_table
+
+#: Global scale factor applied to the library's default dataset sizes.
+#: 0.25 keeps the whole benchmark suite to a few minutes of wall clock.
+BENCH_SCALE = 0.25
+
+
+def record_table(benchmark, table: ExperimentTable) -> ExperimentTable:
+    """Attach a rendered experiment table to the benchmark and print it."""
+    rendered = format_table(table)
+    benchmark.extra_info["experiment_key"] = table.key
+    benchmark.extra_info["rows"] = len(table.rows)
+    benchmark.extra_info["table"] = rendered
+    print()
+    print(rendered)
+    return table
+
+
+@pytest.fixture
+def bench_scale() -> float:
+    return BENCH_SCALE

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Online entity lookup: build the segment index once, answer many queries.
+
+After an offline deduplication (see ``author_deduplication.py``) a typical
+system needs an *online* component: given a user-typed name, find the known
+entities within a small edit distance.  This example builds a
+:class:`repro.search.PassJoinSearcher` over an author dictionary and then
+
+* answers exact-threshold lookups for misspelled queries,
+* answers top-k ("did you mean?") lookups, and
+* reports the query throughput, contrasting it with the naive
+  scan-everything approach.
+
+Usage::
+
+    python examples/entity_lookup_service.py [dictionary_size] [num_queries]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+
+from repro import PassJoinSearcher
+from repro.datasets import apply_random_edits, generate_author_dataset
+from repro.distance import length_aware_edit_distance
+
+
+def build_queries(dictionary: list[str], count: int, tau: int) -> list[str]:
+    """Misspell random dictionary entries to simulate user queries."""
+    rng = random.Random(17)
+    return [apply_random_edits(rng.choice(dictionary), rng.randint(0, tau), rng)
+            for _ in range(count)]
+
+
+def naive_lookup(dictionary: list[str], query: str, tau: int) -> list[str]:
+    """Scan the whole dictionary (the baseline an index replaces)."""
+    return [entry for entry in dictionary
+            if length_aware_edit_distance(entry, query, tau) <= tau]
+
+
+def main() -> None:
+    dictionary_size = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    num_queries = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+    tau = 2
+
+    dictionary = sorted(set(generate_author_dataset(dictionary_size, seed=11)))
+    print(f"dictionary: {len(dictionary)} distinct author names")
+
+    build_started = time.perf_counter()
+    searcher = PassJoinSearcher(dictionary, max_tau=tau)
+    print(f"index built in {time.perf_counter() - build_started:.2f}s "
+          f"({searcher.statistics.index_entries} segment postings, "
+          f"{searcher.statistics.index_bytes / 1024:.1f} KiB)")
+    print()
+
+    queries = build_queries(dictionary, num_queries, tau)
+
+    # A few illustrative lookups.
+    for query in queries[:5]:
+        matches = searcher.search(query, tau)
+        suggestions = ", ".join(match.text for match in matches[:3]) or "(no match)"
+        print(f"  {query!r:35s} -> {suggestions}")
+    print()
+
+    # "Did you mean?" with top-k.
+    query = queries[0]
+    top = searcher.search_top_k(query, k=3)
+    print(f"top-3 suggestions for {query!r}: "
+          + ", ".join(f"{match.text} (ed={match.distance})" for match in top))
+    print()
+
+    # Throughput: indexed search vs naive scan.
+    started = time.perf_counter()
+    indexed_hits = sum(len(searcher.search(query, tau)) for query in queries)
+    indexed_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    naive_hits = sum(len(naive_lookup(dictionary, query, tau)) for query in queries)
+    naive_seconds = time.perf_counter() - started
+
+    assert indexed_hits == naive_hits, "index and scan must agree"
+    print(f"{num_queries} queries: indexed search {indexed_seconds:.2f}s "
+          f"({num_queries / indexed_seconds:.0f} q/s), "
+          f"naive scan {naive_seconds:.2f}s "
+          f"({num_queries / naive_seconds:.0f} q/s), "
+          f"speed-up x{naive_seconds / indexed_seconds:.1f}")
+
+
+if __name__ == "__main__":
+    main()

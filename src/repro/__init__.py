@@ -1,0 +1,93 @@
+"""Pass-Join: a partition-based method for string similarity joins.
+
+A from-scratch reproduction of Li, Deng, Wang, Feng, *"Pass-Join: A
+Partition-based Method for Similarity Joins"*, PVLDB 5(3), 2011.
+
+Quick start
+-----------
+>>> from repro import pass_join
+>>> result = pass_join(["vldb", "pvldb", "sigmod", "sigmmod"], tau=1)
+>>> sorted((p.left, p.right) for p in result)
+[('sigmod', 'sigmmod'), ('vldb', 'pvldb')]
+
+The top-level package re-exports the public API:
+
+* :func:`pass_join` / :func:`pass_join_rs` / :class:`PassJoin` — the join.
+* :func:`edit_distance` and the bounded kernels — the distance substrate.
+* :class:`JoinConfig` and the method enums — configuration.
+* :mod:`repro.baselines` — ED-Join, Trie-Join, All-Pairs-Ed, naive join.
+* :mod:`repro.datasets` — synthetic dataset generators and loaders.
+* :mod:`repro.bench` — the experiment harness reproducing the paper's
+  tables and figures.
+"""
+
+from .config import (DEFAULT_CONFIG, JoinConfig, PartitionStrategy,
+                     SelectionMethod, VerificationMethod)
+from .core.index import SegmentIndex
+from .core.join import PassJoin, pass_join, pass_join_pairs, pass_join_rs
+from .core.partition import partition, segment_layout
+from .core.selection import make_selector
+from .core.verify import make_verifier
+from .distance import (banded_edit_distance, edit_distance,
+                       length_aware_edit_distance, myers_edit_distance)
+from .exceptions import (ConfigurationError, DatasetError, InvalidPartitionError,
+                         InvalidThresholdError, PassJoinError, UnknownMethodError)
+from .external import PartitionedSelfJoin, partitioned_self_join
+from .preprocessing import NormalizationConfig, normalize, normalize_all
+from .search import PassJoinSearcher, SearchMatch, search_all
+from .topk import closest_pair, top_k_join
+from .types import (JoinResult, JoinStatistics, SimilarPair, StringRecord,
+                    as_records)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # join
+    "PassJoin",
+    "pass_join",
+    "pass_join_pairs",
+    "pass_join_rs",
+    # extensions: search, top-k, out-of-core
+    "PassJoinSearcher",
+    "SearchMatch",
+    "search_all",
+    "top_k_join",
+    "closest_pair",
+    "PartitionedSelfJoin",
+    "partitioned_self_join",
+    # preprocessing
+    "normalize",
+    "normalize_all",
+    "NormalizationConfig",
+    # configuration
+    "JoinConfig",
+    "DEFAULT_CONFIG",
+    "SelectionMethod",
+    "VerificationMethod",
+    "PartitionStrategy",
+    # building blocks
+    "SegmentIndex",
+    "partition",
+    "segment_layout",
+    "make_selector",
+    "make_verifier",
+    # distances
+    "edit_distance",
+    "banded_edit_distance",
+    "length_aware_edit_distance",
+    "myers_edit_distance",
+    # types
+    "StringRecord",
+    "SimilarPair",
+    "JoinResult",
+    "JoinStatistics",
+    "as_records",
+    # exceptions
+    "PassJoinError",
+    "InvalidThresholdError",
+    "InvalidPartitionError",
+    "ConfigurationError",
+    "UnknownMethodError",
+    "DatasetError",
+]

@@ -1,0 +1,84 @@
+"""Brute-force similarity join: the ground truth.
+
+``NaiveJoin`` compares every pair of strings that survives the length
+filter, using the bounded length-aware kernel for verification.  It is
+quadratic and only meant for small inputs — the test suite uses it as the
+oracle every other algorithm is checked against, and the benchmark harness
+uses it to calibrate candidate counts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from ..config import validate_threshold
+from ..distance.banded import length_aware_edit_distance
+from ..types import (JoinResult, JoinStatistics, SimilarPair, StringRecord,
+                     as_records, normalise_pair)
+
+
+class NaiveJoin:
+    """All-pairs verification with length filtering."""
+
+    name = "naive"
+
+    def __init__(self, tau: int) -> None:
+        self.tau = validate_threshold(tau)
+
+    def self_join(self, strings: Iterable[str | StringRecord]) -> JoinResult:
+        """Return every similar pair inside one collection."""
+        records = as_records(strings)
+        stats = JoinStatistics(num_strings=len(records))
+        started = time.perf_counter()
+        ordered = sorted(records, key=lambda record: record.length)
+        pairs: list[SimilarPair] = []
+        tau = self.tau
+        for i, left in enumerate(ordered):
+            for right in ordered[i + 1:]:
+                # ordered by length, so once the gap exceeds tau we can stop.
+                if right.length - left.length > tau:
+                    break
+                stats.num_candidates += 1
+                stats.num_verifications += 1
+                distance = length_aware_edit_distance(left.text, right.text, tau, stats)
+                if distance <= tau:
+                    pairs.append(normalise_pair(left.id, right.id, distance,
+                                                left.text, right.text))
+        stats.total_seconds = time.perf_counter() - started
+        stats.num_results = len(pairs)
+        return JoinResult(pairs=pairs, statistics=stats)
+
+    def join(self, left: Iterable[str | StringRecord],
+             right: Iterable[str | StringRecord]) -> JoinResult:
+        """Return every similar pair across two collections."""
+        left_records = as_records(left)
+        right_records = as_records(right)
+        stats = JoinStatistics(num_strings=len(left_records) + len(right_records))
+        started = time.perf_counter()
+        tau = self.tau
+        by_length: dict[int, list[StringRecord]] = {}
+        for record in right_records:
+            by_length.setdefault(record.length, []).append(record)
+        pairs: list[SimilarPair] = []
+        for probe in left_records:
+            for length in range(probe.length - tau, probe.length + tau + 1):
+                for record in by_length.get(length, ()):
+                    stats.num_candidates += 1
+                    stats.num_verifications += 1
+                    distance = length_aware_edit_distance(probe.text, record.text,
+                                                          tau, stats)
+                    if distance <= tau:
+                        pairs.append(SimilarPair(left_id=probe.id,
+                                                 right_id=record.id,
+                                                 distance=distance,
+                                                 left=probe.text,
+                                                 right=record.text))
+        stats.total_seconds = time.perf_counter() - started
+        stats.num_results = len(pairs)
+        return JoinResult(pairs=pairs, statistics=stats)
+
+
+def naive_join(strings: Iterable[str | StringRecord], tau: int) -> JoinResult:
+    """Convenience wrapper: brute-force self join."""
+    return NaiveJoin(tau).self_join(strings)

@@ -1,0 +1,186 @@
+"""Trie-Join: trie-based similarity join with prefix pruning.
+
+Trie-Join (Wang, Li, Feng — PVLDB 2010) stores the string collection in a
+trie so that strings sharing prefixes share both storage and edit-distance
+computation.  This reproduction implements the trie-search formulation of
+the algorithm: strings are visited in sorted order; each string probes the
+trie of the already-visited strings with a depth-first traversal that
+maintains one banded dynamic-programming row per trie node and abandons a
+branch as soon as every value in its row exceeds ``τ`` (prefix pruning);
+the string is then inserted into the trie.
+
+The behaviour matches the paper's observations: excellent on short strings
+with many shared prefixes (person names), and increasingly expensive on
+long strings, where hardly any prefixes are shared and the traversal
+explores a node per character of almost every string.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Iterable, Iterator
+
+from ..config import validate_threshold
+from ..types import (JoinResult, JoinStatistics, SimilarPair, StringRecord,
+                     as_records, normalise_pair)
+
+_INF = 1 << 30
+
+
+class TrieNode:
+    """One node of the trie; the path from the root spells a string prefix."""
+
+    __slots__ = ("children", "terminal_records")
+
+    def __init__(self) -> None:
+        self.children: dict[str, "TrieNode"] = {}
+        # Records whose full text ends exactly at this node.
+        self.terminal_records: list[StringRecord] = []
+
+
+class Trie:
+    """A character trie over :class:`~repro.types.StringRecord` objects."""
+
+    def __init__(self) -> None:
+        self.root = TrieNode()
+        self.node_count = 1
+        self.record_count = 0
+
+    def insert(self, record: StringRecord) -> None:
+        """Insert one record, creating nodes as needed."""
+        node = self.root
+        for character in record.text:
+            child = node.children.get(character)
+            if child is None:
+                child = TrieNode()
+                node.children[character] = child
+                self.node_count += 1
+            node = child
+        node.terminal_records.append(record)
+        self.record_count += 1
+
+    def walk(self) -> Iterator[tuple[str, TrieNode]]:
+        """Yield (prefix, node) pairs in depth-first order (for inspection)."""
+        stack: list[tuple[str, TrieNode]] = [("", self.root)]
+        while stack:
+            prefix, node = stack.pop()
+            yield prefix, node
+            for character, child in node.children.items():
+                stack.append((prefix + character, child))
+
+    def approximate_bytes(self) -> int:
+        """Rough trie footprint: per-node child maps plus terminal lists."""
+        total = 0
+        for _, node in self.walk():
+            total += 40  # node object + bookkeeping
+            total += 16 * len(node.children)
+            total += 8 * len(node.terminal_records)
+        return total
+
+    def deep_bytes(self) -> int:
+        """``sys.getsizeof``-based footprint (includes dict overhead)."""
+        total = 0
+        for _, node in self.walk():
+            total += sys.getsizeof(node.children)
+            total += 8 * len(node.terminal_records)
+        return total
+
+
+class TrieJoin:
+    """Trie-based self join with prefix pruning."""
+
+    name = "trie-join"
+
+    def __init__(self, tau: int) -> None:
+        self.tau = validate_threshold(tau)
+
+    def self_join(self, strings: Iterable[str | StringRecord]) -> JoinResult:
+        """Find every similar pair inside one collection."""
+        records = as_records(strings)
+        stats = JoinStatistics(num_strings=len(records))
+        started = time.perf_counter()
+        pairs = self._self_join(records, stats)
+        stats.total_seconds = time.perf_counter() - started
+        stats.num_results = len(pairs)
+        return JoinResult(pairs=pairs, statistics=stats)
+
+    # ------------------------------------------------------------------
+    def _self_join(self, records: list[StringRecord],
+                   stats: JoinStatistics) -> list[SimilarPair]:
+        tau = self.tau
+        ordered = sorted(records, key=lambda record: (record.length, record.text))
+        trie = Trie()
+        pairs: list[SimilarPair] = []
+
+        for probe in ordered:
+            verification_started = time.perf_counter()
+            for record, distance in self._search(trie, probe.text, stats):
+                pairs.append(normalise_pair(probe.id, record.id, distance,
+                                            probe.text, record.text))
+            stats.verification_seconds += time.perf_counter() - verification_started
+
+            indexing_started = time.perf_counter()
+            trie.insert(probe)
+            stats.indexing_seconds += time.perf_counter() - indexing_started
+
+        stats.index_entries = trie.node_count
+        stats.index_bytes = trie.approximate_bytes()
+        return pairs
+
+    def _search(self, trie: Trie, probe: str,
+                stats: JoinStatistics) -> list[tuple[StringRecord, int]]:
+        """Return all indexed records within ``tau`` of ``probe``.
+
+        Depth-first traversal; each node carries the banded DP row of its
+        prefix against ``probe``.  A branch is pruned when every value of
+        its row exceeds ``tau`` (prefix pruning).
+        """
+        tau = self.tau
+        probe_length = len(probe)
+        initial_row = [j if j <= tau else _INF for j in range(probe_length + 1)]
+        matches: list[tuple[StringRecord, int]] = []
+
+        # Stack entries: (node, depth, row for the node's prefix).
+        stack: list[tuple[TrieNode, int, list[int]]] = [(trie.root, 0, initial_row)]
+        while stack:
+            node, depth, row = stack.pop()
+            final = row[probe_length]
+            if node.terminal_records and final <= tau:
+                if abs(depth - probe_length) <= tau:
+                    for record in node.terminal_records:
+                        stats.num_verifications += 1
+                        matches.append((record, final))
+            for character, child in node.children.items():
+                child_depth = depth + 1
+                lo = max(0, child_depth - tau)
+                hi = min(probe_length, child_depth + tau)
+                if lo > hi:
+                    continue
+                child_row = [_INF] * (probe_length + 1)
+                if lo == 0:
+                    child_row[0] = child_depth
+                row_min = _INF
+                for j in range(max(lo, 1), hi + 1):
+                    cost = 0 if character == probe[j - 1] else 1
+                    value = row[j - 1] + cost
+                    if row[j] + 1 < value:
+                        value = row[j] + 1
+                    if child_row[j - 1] + 1 < value:
+                        value = child_row[j - 1] + 1
+                    child_row[j] = value
+                    if value < row_min:
+                        row_min = value
+                stats.num_matrix_cells += hi - max(lo, 1) + 1
+                if lo == 0 and child_row[0] < row_min:
+                    row_min = child_row[0]
+                if row_min > tau:
+                    stats.num_early_terminations += 1
+                    continue
+                stack.append((child, child_depth, child_row))
+        return matches
+
+
+def trie_join(strings: Iterable[str | StringRecord], tau: int) -> JoinResult:
+    """Convenience wrapper: Trie-Join self join."""
+    return TrieJoin(tau).self_join(strings)

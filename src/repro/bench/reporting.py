@@ -1,0 +1,68 @@
+"""Rendering experiment tables as text and Markdown.
+
+The paper reports its evaluation as figures (line plots) and tables; this
+module renders the same data as aligned text tables, which is what the CLI
+prints and what ``EXPERIMENTS.md`` embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .harness import ExperimentTable
+
+
+def _format_value(value: Any) -> str:
+    """Format one cell: floats get 4 significant digits, the rest ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(table: ExperimentTable, markdown: bool = False) -> str:
+    """Render one table as aligned plain text or GitHub-flavoured Markdown."""
+    headers = list(table.columns)
+    body = [[_format_value(row.get(column, "")) for column in headers]
+            for row in table.rows]
+    widths = [max(len(header), *(len(line[i]) for line in body)) if body else len(header)
+              for i, header in enumerate(headers)]
+
+    lines: list[str] = []
+    if markdown:
+        lines.append("| " + " | ".join(header.ljust(width)
+                                       for header, width in zip(headers, widths)) + " |")
+        lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+        for row in body:
+            lines.append("| " + " | ".join(cell.ljust(width)
+                                           for cell, width in zip(row, widths)) + " |")
+    else:
+        lines.append(f"== {table.title} ({table.key}) ==")
+        lines.append("  ".join(header.ljust(width)
+                               for header, width in zip(headers, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(width)
+                                   for cell, width in zip(row, widths)))
+        if table.notes:
+            lines.append(f"note: {table.notes}")
+    return "\n".join(lines)
+
+
+def tables_to_markdown(tables: Iterable[ExperimentTable]) -> str:
+    """Render several tables as a Markdown document fragment."""
+    sections: list[str] = []
+    for table in tables:
+        sections.append(f"### {table.title} (`{table.key}`)\n")
+        sections.append(format_table(table, markdown=True))
+        if table.notes:
+            sections.append(f"\n*{table.notes}*")
+        sections.append("")
+    return "\n".join(sections)

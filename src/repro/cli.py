@@ -1,0 +1,159 @@
+"""Command-line interface.
+
+Four subcommands cover the day-to-day uses of the library::
+
+    passjoin join FILE --tau 2                 # self-join a file of strings
+    passjoin join LEFT --right RIGHT --tau 2   # join two files
+    passjoin generate author out.txt --size 10000
+    passjoin stats FILE                        # Table-2-style statistics
+    passjoin experiment figure15 --scale 0.5   # rerun a paper experiment
+
+The module is also importable: :func:`main` takes an ``argv`` list, which is
+what the CLI tests use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .baselines.ed_join import EdJoin
+from .baselines.naive import NaiveJoin
+from .baselines.trie_join import TrieJoin
+from .bench.experiments import DATASET_BUILDERS, EXPERIMENTS
+from .bench.reporting import format_table
+from .config import JoinConfig, SelectionMethod, VerificationMethod
+from .core.join import PassJoin
+from .datasets.loaders import load_strings, save_strings
+from .datasets.stats import dataset_statistics
+from .exceptions import PassJoinError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="passjoin",
+        description="Pass-Join: partition-based string similarity joins "
+                    "(VLDB 2011 reproduction)")
+    parser.add_argument("--version", action="version", version=f"passjoin {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    join = subparsers.add_parser("join", help="run a similarity join on text files")
+    join.add_argument("left", help="input file, one string per line")
+    join.add_argument("--right", help="optional second file for an R-S join")
+    join.add_argument("--tau", type=int, required=True, help="edit-distance threshold")
+    join.add_argument("--algorithm", default="pass-join",
+                      choices=["pass-join", "ed-join", "trie-join", "naive"],
+                      help="join algorithm (default: pass-join)")
+    join.add_argument("--selection", default=SelectionMethod.MULTI_MATCH.value,
+                      choices=[m.value for m in SelectionMethod],
+                      help="Pass-Join substring-selection method")
+    join.add_argument("--verification", default=VerificationMethod.SHARE_PREFIX.value,
+                      choices=[m.value for m in VerificationMethod],
+                      help="Pass-Join verification strategy")
+    join.add_argument("--limit", type=int, help="read at most this many strings per file")
+    join.add_argument("--quiet", action="store_true",
+                      help="print only the summary, not the pairs")
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("dataset", choices=sorted(DATASET_BUILDERS),
+                          help="dataset family to generate")
+    generate.add_argument("output", help="output file (one string per line)")
+    generate.add_argument("--size", type=int, default=10000, help="number of strings")
+
+    stats = subparsers.add_parser("stats", help="print Table-2-style statistics of a file")
+    stats.add_argument("path", help="input file, one string per line")
+    stats.add_argument("--limit", type=int, help="read at most this many strings")
+
+    experiment = subparsers.add_parser("experiment",
+                                       help="rerun one of the paper's experiments")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS),
+                            help="experiment identifier (table/figure)")
+    experiment.add_argument("--scale", type=float, default=1.0,
+                            help="dataset scale factor (1.0 = library defaults)")
+    experiment.add_argument("--markdown", action="store_true",
+                            help="emit a Markdown table instead of plain text")
+    return parser
+
+
+def _make_join_algorithm(args: argparse.Namespace):
+    if args.algorithm == "pass-join":
+        config = JoinConfig.from_names(selection=args.selection,
+                                       verification=args.verification)
+        return PassJoin(args.tau, config)
+    if args.algorithm == "ed-join":
+        return EdJoin(args.tau)
+    if args.algorithm == "trie-join":
+        return TrieJoin(args.tau)
+    return NaiveJoin(args.tau)
+
+
+def _command_join(args: argparse.Namespace) -> int:
+    left = load_strings(args.left, limit=args.limit)
+    algorithm = _make_join_algorithm(args)
+    if args.right:
+        if args.algorithm not in ("pass-join", "naive"):
+            print("R-S joins are supported by the pass-join and naive algorithms",
+                  file=sys.stderr)
+            return 2
+        right = load_strings(args.right, limit=args.limit)
+        result = algorithm.join(left, right)
+    else:
+        result = algorithm.self_join(left)
+    if not args.quiet:
+        for pair in result.sorted_pairs():
+            print(f"{pair.left_id}\t{pair.right_id}\t{pair.distance}\t"
+                  f"{pair.left}\t{pair.right}")
+    stats = result.statistics
+    print(f"# strings={stats.num_strings} pairs={len(result)} "
+          f"candidates={stats.num_candidates} "
+          f"verifications={stats.num_verifications} "
+          f"time={stats.total_seconds:.3f}s", file=sys.stderr)
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    strings = DATASET_BUILDERS[args.dataset](args.size)
+    written = save_strings(args.output, strings)
+    summary = dataset_statistics(strings)
+    print(f"wrote {written} strings to {args.output} "
+          f"(avg len {summary.avg_length:.1f}, "
+          f"min {summary.min_length}, max {summary.max_length})")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    strings = load_strings(args.path, limit=args.limit)
+    summary = dataset_statistics(strings)
+    for key, value in summary.as_row().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    experiment = EXPERIMENTS[args.name]
+    table = experiment(scale=args.scale)
+    print(format_table(table, markdown=args.markdown))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used both by the console script and by the tests."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "join": _command_join,
+        "generate": _command_generate,
+        "stats": _command_stats,
+        "experiment": _command_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except PassJoinError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

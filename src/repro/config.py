@@ -1,0 +1,142 @@
+"""Configuration objects for the Pass-Join driver and the baselines.
+
+The paper evaluates several variants of the two expensive phases of the
+algorithm (substring selection in Section 4 and verification in Section 5).
+:class:`JoinConfig` captures those choices so that a single driver
+(:class:`repro.core.join.PassJoin`) can run any combination, which is exactly
+what the Figure 12–14 ablation benchmarks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .exceptions import ConfigurationError, InvalidThresholdError
+
+
+class SelectionMethod(str, Enum):
+    """Substring-selection strategies of Section 4 of the paper.
+
+    ``LENGTH``
+        Select every substring whose length equals the segment length
+        (the straw-man baseline; ``(τ+1)(|s|+1) − l`` substrings).
+    ``SHIFT``
+        Select substrings whose start position is within ``±τ`` of the
+        segment start (Wang et al.'s scheme; ``(τ+1)(2τ+1)`` substrings).
+    ``POSITION``
+        Position-aware selection of Section 4.1 (``(τ+1)²`` substrings).
+    ``MULTI_MATCH``
+        Multi-match-aware selection of Section 4.2 — the paper's minimal
+        scheme (``⌊(τ²−Δ²)/2⌋ + τ + 1`` substrings).
+    """
+
+    LENGTH = "length"
+    SHIFT = "shift"
+    POSITION = "position"
+    MULTI_MATCH = "multi-match"
+
+
+class VerificationMethod(str, Enum):
+    """Verification strategies of Section 5 (the Figure 14 ablation).
+
+    ``BANDED``
+        Classic banded dynamic programming computing ``2τ+1`` diagonals per
+        row with the naive row-maximum early termination.
+    ``LENGTH_AWARE``
+        Length-aware banded DP computing ``τ+1`` cells per row with the
+        expected-edit-distance early termination (Section 5.1).
+    ``EXTENSION``
+        Extension-based verification around the matching segment with the
+        tightened thresholds ``τ_l = i−1`` and ``τ_r = τ+1−i`` (Section 5.2).
+    ``SHARE_PREFIX``
+        Extension-based verification that additionally reuses DP rows across
+        inverted-list entries sharing a common prefix (Section 5.3).
+    ``MYERS``
+        Bit-parallel Myers verifier (an extension beyond the paper, used by
+        the verifier-kernel ablation benchmark).
+    """
+
+    BANDED = "banded"
+    LENGTH_AWARE = "length-aware"
+    EXTENSION = "extension"
+    SHARE_PREFIX = "share-prefix"
+    MYERS = "myers"
+
+
+class PartitionStrategy(str, Enum):
+    """How an indexed string is split into ``τ+1`` segments.
+
+    ``EVEN`` is the paper's scheme (segment lengths differ by at most one).
+    ``LEFT_HEAVY`` and ``RIGHT_HEAVY`` are deliberately bad strategies kept
+    for the partition ablation benchmark: they concentrate the slack on one
+    side, producing shorter (hence less selective) segments at the other.
+    """
+
+    EVEN = "even"
+    LEFT_HEAVY = "left-heavy"
+    RIGHT_HEAVY = "right-heavy"
+
+
+def validate_threshold(tau: int) -> int:
+    """Validate and return an edit-distance threshold.
+
+    Raises :class:`InvalidThresholdError` if ``tau`` is not a non-negative
+    integer (booleans are rejected too, since ``True`` silently behaving as
+    ``1`` hides caller bugs).
+    """
+    if isinstance(tau, bool) or not isinstance(tau, int) or tau < 0:
+        raise InvalidThresholdError(tau)
+    return tau
+
+
+@dataclass(frozen=True, slots=True)
+class JoinConfig:
+    """Tuning knobs for :class:`repro.core.join.PassJoin`.
+
+    Parameters
+    ----------
+    selection:
+        Which substring-selection method to use (default: multi-match-aware,
+        the paper's recommended and provably minimal scheme).
+    verification:
+        Which verification strategy to use (default: share-prefix, the
+        paper's fastest).
+    partition:
+        Partition strategy for indexed strings (default: even).
+    """
+
+    selection: SelectionMethod = SelectionMethod.MULTI_MATCH
+    verification: VerificationMethod = VerificationMethod.SHARE_PREFIX
+    partition: PartitionStrategy = PartitionStrategy.EVEN
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.selection, SelectionMethod):
+            object.__setattr__(
+                self, "selection", SelectionMethod(str(self.selection))
+            )
+        if not isinstance(self.verification, VerificationMethod):
+            object.__setattr__(
+                self, "verification", VerificationMethod(str(self.verification))
+            )
+        if not isinstance(self.partition, PartitionStrategy):
+            object.__setattr__(
+                self, "partition", PartitionStrategy(str(self.partition))
+            )
+
+    @classmethod
+    def from_names(cls, selection: str = "multi-match",
+                   verification: str = "share-prefix",
+                   partition: str = "even") -> "JoinConfig":
+        """Build a config from plain strings, with a friendly error message."""
+        try:
+            return cls(
+                selection=SelectionMethod(selection),
+                verification=VerificationMethod(verification),
+                partition=PartitionStrategy(partition),
+            )
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+
+
+DEFAULT_CONFIG = JoinConfig()

@@ -1,0 +1,204 @@
+"""Segment inverted indices ``L_l^i`` (Section 3.2).
+
+For every indexed string length ``l`` and segment ordinal ``i`` the index
+keeps a dictionary mapping segment text to the list of string ids whose
+``i``-th segment equals that text.  The lists preserve insertion order;
+because the Pass-Join driver inserts strings in sorted (length, text) order,
+every inverted list is automatically sorted alphabetically by the indexed
+string — the property the shared-prefix verifier exploits.
+
+The index also implements the paper's memory optimisation: once the driver
+has moved on to strings of length ``l``, indices for lengths smaller than
+``l − τ`` can never be probed again and are evicted
+(:meth:`SegmentIndex.evict_below`).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Sequence
+
+from ..config import PartitionStrategy, validate_threshold
+from ..types import StringRecord
+from .partition import can_partition, partition, segment_layout
+
+
+class SegmentIndex:
+    """The collection of inverted indices ``L_l^i`` used by Pass-Join.
+
+    Parameters
+    ----------
+    tau:
+        Edit-distance threshold; every indexed string is split into
+        ``tau + 1`` segments.
+    strategy:
+        Partition strategy (even by default, see
+        :mod:`repro.core.partition`).
+    """
+
+    def __init__(self, tau: int,
+                 strategy: PartitionStrategy = PartitionStrategy.EVEN) -> None:
+        self.tau = validate_threshold(tau)
+        self.strategy = strategy
+        # _indices[length][ordinal][segment_text] -> list of StringRecord
+        self._indices: dict[int, dict[int, dict[str, list[StringRecord]]]] = {}
+        self._records_per_length: dict[int, int] = {}
+        self._segment_count = 0
+        # Incremental accounting, maintained by add()/evict_below() so the
+        # driver can record the *peak* concurrent index size cheaply.
+        self._entries_by_length: dict[int, int] = {}
+        self._bytes_by_length: dict[int, int] = {}
+        self._current_entries = 0
+        self._current_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def add(self, record: StringRecord) -> int:
+        """Partition ``record`` and add its segments; return the segment count.
+
+        Strings shorter than ``tau + 1`` cannot be partitioned and are not
+        indexed (the driver keeps them in a separate short-string pool);
+        ``0`` is returned for them.
+        """
+        length = record.length
+        if not can_partition(length, self.tau):
+            return 0
+        per_length = self._indices.setdefault(length, {})
+        added_bytes = 0
+        for segment in partition(record.text, self.tau, self.strategy):
+            per_ordinal = per_length.setdefault(segment.ordinal, {})
+            postings = per_ordinal.get(segment.text)
+            if postings is None:
+                per_ordinal[segment.text] = [record]
+                added_bytes += len(segment.text) + 8
+            else:
+                postings.append(record)
+                added_bytes += 8
+        self._records_per_length[length] = self._records_per_length.get(length, 0) + 1
+        self._segment_count += self.tau + 1
+        self._entries_by_length[length] = (
+            self._entries_by_length.get(length, 0) + self.tau + 1)
+        self._bytes_by_length[length] = (
+            self._bytes_by_length.get(length, 0) + added_bytes)
+        self._current_entries += self.tau + 1
+        self._current_bytes += added_bytes
+        return self.tau + 1
+
+    def add_all(self, records: Iterable[StringRecord]) -> int:
+        """Index every record; return the total number of segments added."""
+        return sum(self.add(record) for record in records)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def has_length(self, length: int) -> bool:
+        """True when at least one string of ``length`` is indexed."""
+        return length in self._indices
+
+    def indexed_lengths(self) -> list[int]:
+        """Return the indexed string lengths in ascending order."""
+        return sorted(self._indices)
+
+    def layout(self, length: int) -> tuple[tuple[int, int], ...]:
+        """Return the segment layout used for indexed strings of ``length``."""
+        return segment_layout(length, self.tau, self.strategy)
+
+    def lookup(self, length: int, ordinal: int, text: str) -> Sequence[StringRecord]:
+        """Return the inverted list ``L_length^ordinal(text)`` (possibly empty)."""
+        per_length = self._indices.get(length)
+        if per_length is None:
+            return ()
+        per_ordinal = per_length.get(ordinal)
+        if per_ordinal is None:
+            return ()
+        return per_ordinal.get(text, ())
+
+    def records_with_length(self, length: int) -> int:
+        """Number of indexed strings of exactly ``length``."""
+        return self._records_per_length.get(length, 0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / accounting
+    # ------------------------------------------------------------------
+    def evict_below(self, min_length: int) -> int:
+        """Drop indices for lengths smaller than ``min_length``.
+
+        Returns the number of length groups removed.  The Pass-Join driver
+        calls this as it advances through the sorted input, which bounds the
+        number of live length groups by ``τ + 1``.
+        """
+        stale = [length for length in self._indices if length < min_length]
+        for length in stale:
+            del self._indices[length]
+            self._current_entries -= self._entries_by_length.pop(length, 0)
+            self._current_bytes -= self._bytes_by_length.pop(length, 0)
+        return len(stale)
+
+    @property
+    def segment_count(self) -> int:
+        """Total number of segments ever added (Table 3 accounting)."""
+        return self._segment_count
+
+    @property
+    def current_entry_count(self) -> int:
+        """Number of postings currently stored (cheap incremental counter)."""
+        return self._current_entries
+
+    @property
+    def current_approximate_bytes(self) -> int:
+        """Approximate bytes currently stored (cheap incremental counter)."""
+        return self._current_bytes
+
+    def entry_count(self) -> int:
+        """Total number of (segment text → id) postings currently stored."""
+        total = 0
+        for per_length in self._indices.values():
+            for per_ordinal in per_length.values():
+                for postings in per_ordinal.values():
+                    total += len(postings)
+        return total
+
+    def distinct_segment_count(self) -> int:
+        """Number of distinct (length, ordinal, segment text) keys stored."""
+        total = 0
+        for per_length in self._indices.values():
+            for per_ordinal in per_length.values():
+                total += len(per_ordinal)
+        return total
+
+    def approximate_bytes(self) -> int:
+        """Rough memory footprint of the index, for the Table 3 comparison.
+
+        The estimate counts the segment key strings plus one machine word
+        (8 bytes) per posting, mirroring how the paper counts "an integer to
+        encode a segment" plus the inverted lists.  Python object overhead
+        is deliberately excluded so the number reflects the data structure,
+        not the runtime.
+        """
+        total = 0
+        for per_length in self._indices.values():
+            for per_ordinal in per_length.values():
+                for text, postings in per_ordinal.items():
+                    total += len(text.encode("utf-8", errors="replace"))
+                    total += 8 * len(postings)
+        return total
+
+    def deep_bytes(self) -> int:
+        """Actual ``sys.getsizeof``-based footprint (includes dict overhead)."""
+        total = sys.getsizeof(self._indices)
+        for per_length in self._indices.values():
+            total += sys.getsizeof(per_length)
+            for per_ordinal in per_length.values():
+                total += sys.getsizeof(per_ordinal)
+                for text, postings in per_ordinal.items():
+                    total += sys.getsizeof(text) + sys.getsizeof(postings)
+                    total += 8 * len(postings)
+        return total
+
+    def __len__(self) -> int:
+        return self.entry_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SegmentIndex(tau={self.tau}, lengths={len(self._indices)}, "
+                f"entries={self.entry_count()})")

@@ -1,0 +1,262 @@
+"""The Pass-Join driver (Algorithm 1 of the paper).
+
+:class:`PassJoin` glues the partition scheme, the segment inverted indices,
+a substring selector, and a verifier into the full filter-and-verify join.
+
+Self join (``R = S``)
+    Strings are sorted by (length, text) and visited in order.  For the
+    current string ``s`` the driver probes the indices of lengths in
+    ``[|s| − τ, |s|]`` (only already-visited strings are indexed, so no pair
+    is enumerated twice), verifies the candidates, then partitions ``s`` and
+    inserts its segments.  Indices for lengths below ``|s| − τ`` are evicted.
+
+R–S join
+    The strings of ``S`` are indexed (grouped by length); each string of
+    ``R`` then probes the indices of lengths in ``[|r| − τ, |r| + τ]``.
+
+Strings shorter than ``τ + 1`` cannot be partitioned into ``τ + 1``
+non-empty segments (the paper assumes they do not occur).  To keep the
+implementation total, such strings are kept in a small side pool and joined
+by direct verification within the length window; this preserves the exact
+result set on arbitrary inputs and costs nothing when, as in the paper's
+datasets, no such string exists.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from ..config import DEFAULT_CONFIG, JoinConfig, validate_threshold
+from ..distance.banded import length_aware_edit_distance
+from ..types import (JoinResult, JoinStatistics, SimilarPair, StringRecord,
+                     as_records, normalise_pair)
+from .index import SegmentIndex
+from .partition import can_partition
+from .selection import SubstringSelector, make_selector
+from .verify import BaseVerifier, MatchContext, make_verifier
+
+
+def _sort_key(record: StringRecord) -> tuple[int, str]:
+    return (record.length, record.text)
+
+
+class PassJoin:
+    """Partition-based string similarity join with edit-distance threshold.
+
+    Parameters
+    ----------
+    tau:
+        Edit-distance threshold.
+    config:
+        Optional :class:`~repro.config.JoinConfig` selecting the substring
+        selection method, verification strategy, and partition strategy.
+
+    Examples
+    --------
+    >>> join = PassJoin(tau=2)
+    >>> result = join.self_join(["vldb", "pvldb", "sigmod", "icde"])
+    >>> sorted((pair.left, pair.right) for pair in result)
+    [('vldb', 'pvldb')]
+    """
+
+    def __init__(self, tau: int, config: JoinConfig | None = None) -> None:
+        self.tau = validate_threshold(tau)
+        self.config = config if config is not None else DEFAULT_CONFIG
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def self_join(self, strings: Iterable[str | StringRecord]) -> JoinResult:
+        """Find every pair of strings within the threshold in one collection."""
+        records = as_records(strings)
+        stats = JoinStatistics(num_strings=len(records))
+        selector = make_selector(self.config.selection, self.tau)
+        verifier = make_verifier(self.config.verification, self.tau, stats)
+        started = time.perf_counter()
+        pairs = self._self_join(records, selector, verifier, stats)
+        stats.total_seconds = time.perf_counter() - started
+        stats.num_results = len(pairs)
+        return JoinResult(pairs=pairs, statistics=stats)
+
+    def join(self, left: Iterable[str | StringRecord],
+             right: Iterable[str | StringRecord]) -> JoinResult:
+        """Find every pair ``(r ∈ left, s ∈ right)`` within the threshold."""
+        left_records = as_records(left)
+        right_records = as_records(right)
+        stats = JoinStatistics(num_strings=len(left_records) + len(right_records))
+        selector = make_selector(self.config.selection, self.tau)
+        verifier = make_verifier(self.config.verification, self.tau, stats)
+        started = time.perf_counter()
+        pairs = self._rs_join(left_records, right_records, selector, verifier, stats)
+        stats.total_seconds = time.perf_counter() - started
+        stats.num_results = len(pairs)
+        return JoinResult(pairs=pairs, statistics=stats)
+
+    # ------------------------------------------------------------------
+    # Self join
+    # ------------------------------------------------------------------
+    def _self_join(self, records: Sequence[StringRecord],
+                   selector: SubstringSelector, verifier: BaseVerifier,
+                   stats: JoinStatistics) -> list[SimilarPair]:
+        tau = self.tau
+        ordered = sorted(records, key=_sort_key)
+        index = SegmentIndex(tau, self.config.partition)
+        short_pool: list[StringRecord] = []
+        pairs: list[SimilarPair] = []
+
+        for probe in ordered:
+            matches = self._probe(probe, index, short_pool, selector, verifier,
+                                  stats, max_length=probe.length)
+            for partner, distance in matches:
+                pairs.append(normalise_pair(probe.id, partner.id, distance,
+                                            probe.text, partner.text))
+            # Index the probe so later (longer or equal) strings can find it.
+            indexing_started = time.perf_counter()
+            if can_partition(probe.length, tau):
+                index.add(probe)
+                stats.num_indexed_segments += tau + 1
+            else:
+                short_pool.append(probe)
+            index.evict_below(probe.length - tau)
+            stats.indexing_seconds += time.perf_counter() - indexing_started
+            stats.index_entries = max(stats.index_entries, index.current_entry_count)
+            stats.index_bytes = max(stats.index_bytes, index.current_approximate_bytes)
+        return pairs
+
+    # ------------------------------------------------------------------
+    # R-S join
+    # ------------------------------------------------------------------
+    def _rs_join(self, left: Sequence[StringRecord], right: Sequence[StringRecord],
+                 selector: SubstringSelector, verifier: BaseVerifier,
+                 stats: JoinStatistics) -> list[SimilarPair]:
+        tau = self.tau
+        index = SegmentIndex(tau, self.config.partition)
+        short_pool: list[StringRecord] = []
+
+        indexing_started = time.perf_counter()
+        for record in sorted(right, key=_sort_key):
+            if can_partition(record.length, tau):
+                index.add(record)
+                stats.num_indexed_segments += tau + 1
+            else:
+                short_pool.append(record)
+        stats.indexing_seconds += time.perf_counter() - indexing_started
+        stats.index_entries = index.current_entry_count
+        stats.index_bytes = index.current_approximate_bytes
+
+        pairs: list[SimilarPair] = []
+        for probe in sorted(left, key=_sort_key):
+            matches = self._probe(probe, index, short_pool, selector, verifier,
+                                  stats, max_length=probe.length + tau,
+                                  allow_same_id=True)
+            for partner, distance in matches:
+                pairs.append(SimilarPair(left_id=probe.id, right_id=partner.id,
+                                         distance=distance, left=probe.text,
+                                         right=partner.text))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Shared probing logic
+    # ------------------------------------------------------------------
+    def _probe(self, probe: StringRecord, index: SegmentIndex,
+               short_pool: Sequence[StringRecord], selector: SubstringSelector,
+               verifier: BaseVerifier, stats: JoinStatistics, max_length: int,
+               allow_same_id: bool = False) -> list[tuple[StringRecord, int]]:
+        """Find indexed (and short-pool) strings similar to ``probe``.
+
+        ``max_length`` bounds the indexed lengths probed: ``|probe|`` for the
+        self join (longer strings are not indexed yet) and ``|probe| + τ``
+        for the R–S join.
+        """
+        tau = self.tau
+        found: dict[int, int] = {}
+        checked: set[int] = set()
+        min_length = probe.length - tau
+
+        # Strings too short to partition are verified directly.
+        for record in short_pool:
+            if record.id == probe.id and not allow_same_id:
+                continue
+            if abs(record.length - probe.length) > tau:
+                continue
+            verification_started = time.perf_counter()
+            stats.num_verifications += 1
+            distance = length_aware_edit_distance(record.text, probe.text, tau, stats)
+            stats.verification_seconds += time.perf_counter() - verification_started
+            if distance <= tau:
+                found[record.id] = distance
+        matches: list[tuple[StringRecord, int]] = [
+            (record, found[record.id]) for record in short_pool
+            if record.id in found
+        ]
+
+        skip_rechecks = verifier.exact_per_pair
+        for length in range(max(min_length, 0), max_length + 1):
+            if not index.has_length(length):
+                continue
+            layout = index.layout(length)
+
+            selection_started = time.perf_counter()
+            selections = selector.select(probe.text, length, layout)
+            stats.selection_seconds += time.perf_counter() - selection_started
+            stats.num_selected_substrings += len(selections)
+
+            for selection in selections:
+                stats.num_index_probes += 1
+                postings = index.lookup(length, selection.ordinal, selection.text)
+                if not postings:
+                    continue
+                candidates = []
+                for record in postings:
+                    if record.id == probe.id and not allow_same_id:
+                        continue
+                    if record.id in found:
+                        continue
+                    if skip_rechecks and record.id in checked:
+                        continue
+                    candidates.append(record)
+                if not candidates:
+                    continue
+                stats.num_candidates += len(candidates)
+                context = MatchContext(ordinal=selection.ordinal,
+                                       probe_start=selection.start,
+                                       seg_start=selection.seg_start,
+                                       seg_length=selection.seg_length)
+                verification_started = time.perf_counter()
+                accepted = verifier.verify_candidates(probe.text, candidates, context)
+                stats.verification_seconds += time.perf_counter() - verification_started
+                if skip_rechecks:
+                    checked.update(record.id for record in candidates)
+                for record, distance in accepted:
+                    if record.id not in found:
+                        found[record.id] = distance
+                        matches.append((record, distance))
+        return matches
+
+
+# ----------------------------------------------------------------------
+# Convenience functions
+# ----------------------------------------------------------------------
+def pass_join(strings: Iterable[str | StringRecord], tau: int,
+              config: JoinConfig | None = None) -> JoinResult:
+    """Self-join a collection of strings with threshold ``tau``.
+
+    >>> result = pass_join(["vldb", "pvldb", "icde"], tau=1)
+    >>> [(pair.left, pair.right) for pair in result]
+    [('vldb', 'pvldb')]
+    """
+    return PassJoin(tau, config).self_join(strings)
+
+
+def pass_join_pairs(strings: Iterable[str | StringRecord], tau: int,
+                    config: JoinConfig | None = None) -> list[tuple[int, int]]:
+    """Self-join and return just the sorted (left_id, right_id) tuples."""
+    return sorted(pass_join(strings, tau, config).pair_ids())
+
+
+def pass_join_rs(left: Iterable[str | StringRecord],
+                 right: Iterable[str | StringRecord], tau: int,
+                 config: JoinConfig | None = None) -> JoinResult:
+    """Join two distinct collections with threshold ``tau``."""
+    return PassJoin(tau, config).join(left, right)

@@ -1,0 +1,196 @@
+"""Substring selection (Section 4 of the paper).
+
+Given a probe string ``s`` and an indexed length ``l`` (with the segment
+layout of strings of that length), a selector decides which substrings of
+``s`` are looked up in each inverted index ``L_l^i``.  All four methods of
+the paper are implemented; each one selects a subset of its predecessor:
+
+================  ==========================================  ==============
+method            window of start positions for ordinal ``i``  size per index
+================  ==========================================  ==============
+length-based      every position                               ``|s| − l_i + 1``
+shift-based       ``[p_i − τ, p_i + τ]``                       ``2τ + 1``
+position-aware    ``[p_i − ⌊(τ−Δ)/2⌋, p_i + ⌊(τ+Δ)/2⌋]``       ``τ + 1``
+multi-match       ``[max(⊥_i^l, ⊥_i^r), min(⊤_i^l, ⊤_i^r)]``   see Lemma 2
+================  ==========================================  ==============
+
+with ``Δ = |s| − l`` and, for the multi-match-aware method,
+``⊥_i^l = p_i − (i−1)``, ``⊤_i^l = p_i + (i−1)``,
+``⊥_i^r = p_i + Δ − (τ+1−i)``, ``⊤_i^r = p_i + Δ + (τ+1−i)``.
+
+Positions here are 0-based (the paper uses 1-based positions; the windows
+are the same after shifting by one).  Every window is clamped to the valid
+substring range ``[0, |s| − l_i]``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import NamedTuple, Sequence
+
+from ..config import SelectionMethod, validate_threshold
+from ..exceptions import UnknownMethodError
+
+
+class SelectedSubstring(NamedTuple):
+    """One substring chosen for probing an inverted index ``L_l^i``."""
+
+    ordinal: int      # segment ordinal i (1-based)
+    start: int        # 0-based start position of the substring in the probe
+    text: str         # the substring itself (length = segment length l_i)
+    seg_start: int    # 0-based start position p_i of the segment in indexed strings
+    seg_length: int   # segment length l_i
+
+
+class Window(NamedTuple):
+    """Inclusive range of start positions selected for one ordinal."""
+
+    ordinal: int
+    seg_start: int
+    seg_length: int
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        """Number of start positions in the window (0 when empty)."""
+        return max(0, self.hi - self.lo + 1)
+
+
+class SubstringSelector(ABC):
+    """Base class for the four substring-selection strategies."""
+
+    method: SelectionMethod
+
+    def __init__(self, tau: int) -> None:
+        self.tau = validate_threshold(tau)
+
+    @abstractmethod
+    def _window(self, ordinal: int, seg_start: int, seg_length: int,
+                probe_length: int, delta: int) -> tuple[int, int]:
+        """Return the raw (lo, hi) start-position window before clamping."""
+
+    def windows(self, probe_length: int, indexed_length: int,
+                layout: Sequence[tuple[int, int]]) -> list[Window]:
+        """Return the clamped selection window for every segment ordinal."""
+        delta = probe_length - indexed_length
+        result: list[Window] = []
+        for ordinal, (seg_start, seg_length) in enumerate(layout, start=1):
+            lo, hi = self._window(ordinal, seg_start, seg_length,
+                                  probe_length, delta)
+            lo = max(lo, 0)
+            hi = min(hi, probe_length - seg_length)
+            result.append(Window(ordinal, seg_start, seg_length, lo, hi))
+        return result
+
+    def select(self, probe: str, indexed_length: int,
+               layout: Sequence[tuple[int, int]]) -> list[SelectedSubstring]:
+        """Materialise the selected substrings of ``probe`` for one index length."""
+        selections: list[SelectedSubstring] = []
+        for window in self.windows(len(probe), indexed_length, layout):
+            for start in range(window.lo, window.hi + 1):
+                selections.append(
+                    SelectedSubstring(
+                        ordinal=window.ordinal,
+                        start=start,
+                        text=probe[start:start + window.seg_length],
+                        seg_start=window.seg_start,
+                        seg_length=window.seg_length,
+                    )
+                )
+        return selections
+
+    def count(self, probe_length: int, indexed_length: int,
+              layout: Sequence[tuple[int, int]]) -> int:
+        """Number of substrings :meth:`select` would return, without slicing."""
+        return sum(window.size
+                   for window in self.windows(probe_length, indexed_length, layout))
+
+
+class LengthBasedSelector(SubstringSelector):
+    """Select every substring whose length matches the segment length."""
+
+    method = SelectionMethod.LENGTH
+
+    def _window(self, ordinal: int, seg_start: int, seg_length: int,
+                probe_length: int, delta: int) -> tuple[int, int]:
+        return 0, probe_length - seg_length
+
+
+class ShiftBasedSelector(SubstringSelector):
+    """Select substrings starting within ``±τ`` of the segment start."""
+
+    method = SelectionMethod.SHIFT
+
+    def _window(self, ordinal: int, seg_start: int, seg_length: int,
+                probe_length: int, delta: int) -> tuple[int, int]:
+        return seg_start - self.tau, seg_start + self.tau
+
+
+class PositionAwareSelector(SubstringSelector):
+    """Position-aware selection (Section 4.1): ``τ + 1`` substrings per index."""
+
+    method = SelectionMethod.POSITION
+
+    def _window(self, ordinal: int, seg_start: int, seg_length: int,
+                probe_length: int, delta: int) -> tuple[int, int]:
+        lo = seg_start - (self.tau - delta) // 2
+        hi = seg_start + (self.tau + delta) // 2
+        return lo, hi
+
+
+class MultiMatchAwareSelector(SubstringSelector):
+    """Multi-match-aware selection (Section 4.2) — the provably minimal scheme."""
+
+    method = SelectionMethod.MULTI_MATCH
+
+    def _window(self, ordinal: int, seg_start: int, seg_length: int,
+                probe_length: int, delta: int) -> tuple[int, int]:
+        tau = self.tau
+        left_lo = seg_start - (ordinal - 1)
+        left_hi = seg_start + (ordinal - 1)
+        right_lo = seg_start + delta - (tau + 1 - ordinal)
+        right_hi = seg_start + delta + (tau + 1 - ordinal)
+        return max(left_lo, right_lo), min(left_hi, right_hi)
+
+
+_SELECTORS: dict[SelectionMethod, type[SubstringSelector]] = {
+    SelectionMethod.LENGTH: LengthBasedSelector,
+    SelectionMethod.SHIFT: ShiftBasedSelector,
+    SelectionMethod.POSITION: PositionAwareSelector,
+    SelectionMethod.MULTI_MATCH: MultiMatchAwareSelector,
+}
+
+
+def make_selector(method: SelectionMethod | str, tau: int) -> SubstringSelector:
+    """Instantiate the selector for ``method`` (accepts enum values or names)."""
+    if isinstance(method, str):
+        try:
+            method = SelectionMethod(method)
+        except ValueError as exc:
+            raise UnknownMethodError(
+                "selection method", method,
+                tuple(m.value for m in SelectionMethod)) from exc
+    return _SELECTORS[method](tau)
+
+
+def theoretical_selection_count(method: SelectionMethod, probe_length: int,
+                                indexed_length: int, tau: int) -> int:
+    """Closed-form substring counts from Section 4.3 (used in tests).
+
+    The formulas assume the probe is at least as long as every segment
+    (otherwise windows are clamped and the actual count is smaller).  For
+    the multi-match-aware method this is Lemma 2:
+    ``⌊(τ² − Δ²)/2⌋ + τ + 1``.
+    """
+    delta = probe_length - indexed_length
+    if method == SelectionMethod.LENGTH:
+        return (tau + 1) * (probe_length + 1) - indexed_length
+    if method == SelectionMethod.SHIFT:
+        return (tau + 1) * (2 * tau + 1)
+    if method == SelectionMethod.POSITION:
+        return (tau + 1) ** 2
+    if method == SelectionMethod.MULTI_MATCH:
+        return (tau * tau - delta * delta) // 2 + tau + 1
+    raise UnknownMethodError("selection method", str(method),
+                             tuple(m.value for m in SelectionMethod))

@@ -1,0 +1,41 @@
+"""Dataset substrate: synthetic stand-ins for the paper's corpora.
+
+The paper evaluates on three real datasets (DBLP Author, AOL Query Log,
+DBLP Author+Title) that are not redistributable here.  The generators in
+:mod:`repro.datasets.synthetic` produce corpora with the same *shape* —
+cardinality, length distribution, alphabet, and near-duplicate density —
+which is what drives the relative behaviour of the join algorithms:
+
+* :func:`generate_author_dataset` — short strings (person names,
+  average length ≈ 15).
+* :func:`generate_querylog_dataset` — medium strings (keyword queries,
+  average length ≈ 45).
+* :func:`generate_title_dataset` — long strings (author + title lines,
+  average length ≈ 105).
+
+:mod:`repro.datasets.corruption` plants near-duplicates by applying random
+edit operations, :mod:`repro.datasets.stats` computes the Table 2 /
+Figure 11 statistics, and :mod:`repro.datasets.loaders` reads and writes
+plain-text string collections.
+"""
+
+from .corruption import apply_random_edits, make_near_duplicate
+from .loaders import load_strings, save_strings
+from .stats import DatasetStats, dataset_statistics, length_histogram
+from .synthetic import (DatasetSpec, generate_author_dataset, generate_dataset,
+                        generate_querylog_dataset, generate_title_dataset)
+
+__all__ = [
+    "DatasetSpec",
+    "generate_dataset",
+    "generate_author_dataset",
+    "generate_querylog_dataset",
+    "generate_title_dataset",
+    "apply_random_edits",
+    "make_near_duplicate",
+    "load_strings",
+    "save_strings",
+    "DatasetStats",
+    "dataset_statistics",
+    "length_histogram",
+]

@@ -1,0 +1,63 @@
+"""Edit-operation corruption: planting near-duplicates in a dataset.
+
+Real data-cleaning corpora contain clusters of almost-identical strings
+(typos, OCR noise, alternative spellings).  The generators plant such
+clusters by copying an existing string and applying a small number of
+random single-character edit operations — which by construction puts the
+copy within a known edit distance of its source, giving the joins
+non-trivial result sets of a controllable density.
+"""
+
+from __future__ import annotations
+
+import random
+import string as _string
+
+DEFAULT_ALPHABET = _string.ascii_lowercase + " "
+
+
+def apply_random_edits(text: str, edits: int, rng: random.Random,
+                       alphabet: str = DEFAULT_ALPHABET) -> str:
+    """Apply ``edits`` random single-character operations to ``text``.
+
+    Operations are chosen uniformly among insertion, deletion, and
+    substitution (deletions are skipped when the string would become
+    empty).  The result is therefore within edit distance ``edits`` of the
+    input — possibly less, since random edits can cancel out.
+
+    >>> rng = random.Random(1)
+    >>> edited = apply_random_edits("similarity", 2, rng)
+    >>> from repro.distance import edit_distance
+    >>> edit_distance("similarity", edited) <= 2
+    True
+    """
+    if edits < 0:
+        raise ValueError(f"number of edits must be non-negative, got {edits}")
+    current = text
+    for _ in range(edits):
+        operations = ["insert", "substitute"]
+        if len(current) > 1:
+            operations.append("delete")
+        operation = rng.choice(operations)
+        if operation == "insert":
+            position = rng.randint(0, len(current))
+            current = current[:position] + rng.choice(alphabet) + current[position:]
+        elif operation == "delete":
+            position = rng.randrange(len(current))
+            current = current[:position] + current[position + 1:]
+        else:
+            if not current:
+                current = rng.choice(alphabet)
+                continue
+            position = rng.randrange(len(current))
+            current = (current[:position] + rng.choice(alphabet)
+                       + current[position + 1:])
+    return current
+
+
+def make_near_duplicate(text: str, rng: random.Random, max_edits: int = 3,
+                        alphabet: str = DEFAULT_ALPHABET) -> str:
+    """Return a copy of ``text`` within ``1..max_edits`` random edits."""
+    if max_edits < 1:
+        raise ValueError(f"max_edits must be at least 1, got {max_edits}")
+    return apply_random_edits(text, rng.randint(1, max_edits), rng, alphabet)

@@ -1,0 +1,64 @@
+"""Dataset statistics: Table 2 and Figure 11 of the paper.
+
+:func:`dataset_statistics` computes the cardinality / average / maximum /
+minimum length row of Table 2 for any string collection, and
+:func:`length_histogram` produces the string-length distribution plotted in
+Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """Summary statistics of a string collection (one row of Table 2)."""
+
+    cardinality: int
+    avg_length: float
+    max_length: int
+    min_length: int
+
+    def as_row(self) -> dict[str, float | int]:
+        """Return the statistics as a report-friendly mapping."""
+        return {
+            "cardinality": self.cardinality,
+            "avg_len": round(self.avg_length, 2),
+            "max_len": self.max_length,
+            "min_len": self.min_length,
+        }
+
+
+def dataset_statistics(strings: Sequence[str]) -> DatasetStats:
+    """Compute cardinality and length statistics of ``strings``.
+
+    An empty collection yields zeros rather than raising, so callers can
+    report on filtered subsets without special-casing.
+    """
+    if not strings:
+        return DatasetStats(cardinality=0, avg_length=0.0, max_length=0, min_length=0)
+    lengths = [len(text) for text in strings]
+    return DatasetStats(
+        cardinality=len(strings),
+        avg_length=sum(lengths) / len(lengths),
+        max_length=max(lengths),
+        min_length=min(lengths),
+    )
+
+
+def length_histogram(strings: Sequence[str], bucket_size: int = 1) -> dict[int, int]:
+    """Histogram of string lengths (Figure 11).
+
+    Keys are bucket lower bounds (``length // bucket_size * bucket_size``),
+    values are string counts.  ``bucket_size=1`` gives the exact
+    distribution; larger buckets are convenient for long-string datasets.
+    """
+    if bucket_size <= 0:
+        raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+    histogram: dict[int, int] = {}
+    for text in strings:
+        bucket = (len(text) // bucket_size) * bucket_size
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return dict(sorted(histogram.items()))

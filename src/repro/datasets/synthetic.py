@@ -1,0 +1,162 @@
+"""Synthetic dataset generators mimicking the paper's three corpora.
+
+Table 2 of the paper describes the datasets:
+
+==============  ===========  =======  =======  =======
+dataset         cardinality  avg len  max len  min len
+==============  ===========  =======  =======  =======
+Author              612,781    14.8       46        6
+Query Log           464,189    44.8      522       30
+Author+Title        863,073   105.8      886       21
+==============  ===========  =======  =======  =======
+
+The generators below reproduce the *shape* of each dataset — token
+structure, length distribution, alphabet, and near-duplicate density — at a
+configurable cardinality (pure Python cannot time-faithfully join 600k+
+strings, so the benchmarks default to scaled-down corpora and note the
+scale factor in EXPERIMENTS.md).
+
+Every generator is fully deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import DatasetError
+from .corruption import make_near_duplicate
+from .vocabulary import expanded_vocabulary, zipf_choice
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """Parameters of a synthetic dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``author``, ``querylog``, ``title``).
+    size:
+        Number of strings to generate.
+    duplicate_fraction:
+        Fraction of strings generated as near-duplicates of an earlier
+        string (this controls how many similar pairs the joins find).
+    max_duplicate_edits:
+        Maximum number of random edits applied to a planted duplicate.
+    seed:
+        Random seed; identical specs generate identical datasets.
+    """
+
+    name: str
+    size: int
+    duplicate_fraction: float = 0.15
+    max_duplicate_edits: int = 4
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise DatasetError(f"dataset size must be non-negative, got {self.size}")
+        if not 0.0 <= self.duplicate_fraction <= 1.0:
+            raise DatasetError(
+                f"duplicate_fraction must be within [0, 1], got {self.duplicate_fraction}")
+        if self.max_duplicate_edits < 1:
+            raise DatasetError(
+                f"max_duplicate_edits must be >= 1, got {self.max_duplicate_edits}")
+
+
+# ----------------------------------------------------------------------
+# Per-dataset string factories
+# ----------------------------------------------------------------------
+def _author_string(rng: random.Random) -> str:
+    """A person name: 'first [middle-initial] last', avg length ~15."""
+    first = zipf_choice(expanded_vocabulary("first", 2000), rng)
+    last = zipf_choice(expanded_vocabulary("last", 4000), rng)
+    if rng.random() < 0.15:
+        middle = rng.choice("abcdefghijklmnopqrstuvwxyz")
+        return f"{first} {middle} {last}"
+    return f"{first} {last}"
+
+
+def _querylog_string(rng: random.Random) -> str:
+    """A keyword query of several words, average length ~45, minimum ~30."""
+    vocabulary = expanded_vocabulary("query", 8000)
+    words = [zipf_choice(vocabulary, rng)
+             for _ in range(rng.randint(3, 8))]
+    query = " ".join(words)
+    # The paper's query-log strings are at least 30 characters long; pad
+    # short queries with additional keywords.
+    while len(query) < 30:
+        query = f"{query} {zipf_choice(vocabulary, rng)}"
+    return query
+
+
+def _title_string(rng: random.Random) -> str:
+    """An 'authors. title.' line, average length ~105."""
+    first_vocab = expanded_vocabulary("first", 2000)
+    last_vocab = expanded_vocabulary("last", 4000)
+    title_vocab = expanded_vocabulary("title", 12000)
+    authors = ", ".join(
+        f"{zipf_choice(first_vocab, rng)} {zipf_choice(last_vocab, rng)}"
+        for _ in range(rng.randint(1, 3)))
+    title = " ".join(zipf_choice(title_vocab, rng)
+                     for _ in range(rng.randint(5, 13)))
+    return f"{authors}. {title}."
+
+
+_FACTORIES: dict[str, Callable[[random.Random], str]] = {
+    "author": _author_string,
+    "querylog": _querylog_string,
+    "title": _title_string,
+}
+
+#: The dataset names understood by :func:`generate_dataset`.
+DATASET_NAMES = tuple(sorted(_FACTORIES))
+
+
+# ----------------------------------------------------------------------
+# Generation driver
+# ----------------------------------------------------------------------
+def generate_dataset(spec: DatasetSpec) -> list[str]:
+    """Generate a dataset according to ``spec``.
+
+    A ``duplicate_fraction`` share of the output strings are near-duplicates
+    of an earlier string (1 to ``max_duplicate_edits`` random edits), so the
+    similarity joins have realistic, non-empty result sets.
+    """
+    factory = _FACTORIES.get(spec.name)
+    if factory is None:
+        raise DatasetError(
+            f"unknown dataset {spec.name!r}; expected one of {', '.join(DATASET_NAMES)}")
+    rng = random.Random(f"{spec.seed}:{spec.name}:{spec.size}")
+    strings: list[str] = []
+    for _ in range(spec.size):
+        if strings and rng.random() < spec.duplicate_fraction:
+            source = rng.choice(strings)
+            strings.append(make_near_duplicate(source, rng,
+                                               spec.max_duplicate_edits))
+        else:
+            strings.append(factory(rng))
+    return strings
+
+
+def generate_author_dataset(size: int, seed: int = 2011,
+                            duplicate_fraction: float = 0.15) -> list[str]:
+    """Short-string dataset analogous to DBLP Author (avg length ≈ 15)."""
+    return generate_dataset(DatasetSpec("author", size, duplicate_fraction,
+                                        seed=seed))
+
+
+def generate_querylog_dataset(size: int, seed: int = 2011,
+                              duplicate_fraction: float = 0.15) -> list[str]:
+    """Medium-string dataset analogous to the AOL query log (avg length ≈ 45)."""
+    return generate_dataset(DatasetSpec("querylog", size, duplicate_fraction,
+                                        seed=seed))
+
+
+def generate_title_dataset(size: int, seed: int = 2011,
+                           duplicate_fraction: float = 0.15) -> list[str]:
+    """Long-string dataset analogous to DBLP Author+Title (avg length ≈ 105)."""
+    return generate_dataset(DatasetSpec("title", size, duplicate_fraction,
+                                        seed=seed))

@@ -1,0 +1,118 @@
+"""Deterministic vocabularies used by the synthetic dataset generators.
+
+The generators need believable tokens (name parts, query keywords, title
+words) without shipping megabytes of word lists.  A small seed list is
+combined with a syllable composer that expands it into an arbitrarily large
+deterministic vocabulary with a roughly Zipfian usage profile (the
+generators sample tokens by a Zipf-like rank distribution, so a few tokens
+are very common and most are rare — matching what real name and query
+corpora look like and, importantly for the join benchmarks, producing
+realistic segment/q-gram selectivity).
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+FIRST_NAME_SEEDS = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
+    "ling", "guoliang", "dong", "jiannan", "jianhua", "chen", "yuki",
+    "hiroshi", "anna", "ivan", "olga", "pierre", "marie", "hans", "ursula",
+    "carlos", "lucia", "ahmed", "fatima", "raj", "priya", "lars", "ingrid",
+]
+
+LAST_NAME_SEEDS = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "li", "wang", "zhang", "chen", "feng", "deng", "kumar", "singh",
+    "patel", "mueller", "schmidt", "schneider", "fischer", "weber", "meyer",
+    "ivanov", "petrov", "sato", "suzuki", "tanaka", "kim", "park", "choi",
+]
+
+QUERY_WORD_SEEDS = [
+    "cheap", "best", "free", "online", "download", "review", "price",
+    "hotel", "flight", "weather", "news", "music", "video", "game",
+    "recipe", "restaurant", "movie", "lyrics", "university", "insurance",
+    "credit", "mortgage", "doctor", "symptoms", "jobs", "salary", "used",
+    "car", "rental", "apartment", "school", "college", "football",
+    "baseball", "basketball", "ticket", "concert", "beach", "vacation",
+    "wedding", "birthday", "gift", "store", "coupon", "sale",
+]
+
+TITLE_WORD_SEEDS = [
+    "efficient", "scalable", "adaptive", "distributed", "parallel",
+    "approximate", "similarity", "join", "query", "processing",
+    "optimization", "index", "partition", "string", "edit", "distance",
+    "database", "system", "algorithm", "framework", "analysis", "mining",
+    "learning", "graph", "stream", "cloud", "storage", "transaction",
+    "concurrency", "recovery", "benchmark", "evaluation", "survey",
+    "method", "model", "structure", "search", "filtering", "verification",
+    "estimation", "selectivity", "cardinality", "sampling", "clustering",
+]
+
+_SYLLABLES = [
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke",
+    "ki", "ko", "ku", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo",
+    "mu", "na", "ne", "ni", "no", "nu", "ra", "re", "ri", "ro", "ru", "sa",
+    "se", "si", "so", "su", "ta", "te", "ti", "to", "tu", "va", "ve", "vi",
+    "vo", "vu", "sha", "che", "chi", "tho", "thu", "pra", "pre", "kri",
+    "gro", "stu", "war", "ber", "man", "son", "ton", "ville", "field",
+]
+
+
+def _compose_word(rng: random.Random, min_syllables: int, max_syllables: int) -> str:
+    """Compose a pronounceable pseudo-word from syllables."""
+    count = rng.randint(min_syllables, max_syllables)
+    return "".join(rng.choice(_SYLLABLES) for _ in range(count))
+
+
+@lru_cache(maxsize=32)
+def expanded_vocabulary(kind: str, size: int, seed: int = 20110830) -> tuple[str, ...]:
+    """Return a deterministic vocabulary of ``size`` tokens for ``kind``.
+
+    ``kind`` selects the seed list (``"first"``, ``"last"``, ``"query"``,
+    ``"title"``); additional tokens are composed from syllables until the
+    requested size is reached.  Results are cached because the generators
+    call this once per dataset.
+    """
+    seeds = {
+        "first": FIRST_NAME_SEEDS,
+        "last": LAST_NAME_SEEDS,
+        "query": QUERY_WORD_SEEDS,
+        "title": TITLE_WORD_SEEDS,
+    }.get(kind)
+    if seeds is None:
+        raise ValueError(f"unknown vocabulary kind {kind!r}")
+    rng = random.Random(f"{seed}:{kind}")
+    vocabulary = list(seeds)
+    syllable_range = (2, 3) if kind in ("first", "last") else (2, 4)
+    existing = set(vocabulary)
+    while len(vocabulary) < size:
+        word = _compose_word(rng, *syllable_range)
+        if word not in existing:
+            existing.add(word)
+            vocabulary.append(word)
+    return tuple(vocabulary[:size])
+
+
+def zipf_choice(vocabulary: tuple[str, ...], rng: random.Random,
+                skew: float = 3.0) -> str:
+    """Pick a token with a head-heavy, Zipf-like rank distribution.
+
+    The rank is drawn as ``⌊n · u^skew⌋`` with ``u`` uniform in ``(0, 1]``,
+    so low ranks (the head of the vocabulary) are picked far more often than
+    the tail — e.g. with the default ``skew=3`` the first 10% of the
+    vocabulary receives ≈46% of the picks.  This is cheap, needs no
+    per-vocabulary precomputation, and is close enough to a Zipf profile for
+    workload-generation purposes.
+    """
+    n = len(vocabulary)
+    u = 1.0 - rng.random()
+    rank = int(n * (u ** skew))
+    if rank >= n:
+        rank = n - 1
+    return vocabulary[rank]

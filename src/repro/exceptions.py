@@ -1,0 +1,51 @@
+"""Exception hierarchy for the Pass-Join reproduction library.
+
+All errors raised by the public API derive from :class:`PassJoinError`, so
+callers can catch a single base class.  More specific subclasses signal the
+usual misuse cases: invalid thresholds, malformed configuration, inputs that
+violate a documented precondition, and dataset-generation problems.
+"""
+
+from __future__ import annotations
+
+
+class PassJoinError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidThresholdError(PassJoinError, ValueError):
+    """The edit-distance threshold ``tau`` is not a non-negative integer."""
+
+    def __init__(self, tau: object) -> None:
+        super().__init__(
+            f"edit-distance threshold must be a non-negative integer, got {tau!r}"
+        )
+        self.tau = tau
+
+
+class InvalidPartitionError(PassJoinError, ValueError):
+    """A string cannot be partitioned into the requested number of segments."""
+
+
+class ConfigurationError(PassJoinError, ValueError):
+    """A :class:`repro.config.JoinConfig` value is out of range or inconsistent."""
+
+
+class UnknownMethodError(ConfigurationError):
+    """A selection/verification/algorithm name does not match a known method."""
+
+    def __init__(self, kind: str, name: str, known: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown {kind} {name!r}; expected one of {', '.join(sorted(known))}"
+        )
+        self.kind = kind
+        self.name = name
+        self.known = known
+
+
+class DatasetError(PassJoinError):
+    """A dataset could not be generated, loaded, or parsed."""
+
+
+class ExperimentError(PassJoinError):
+    """A benchmark experiment was misconfigured or failed to run."""

@@ -1,0 +1,19 @@
+"""Out-of-core (partitioned) similarity joins.
+
+The paper focuses on the case where the segment index fits in memory and
+leaves "dealing with a very large dataset" as future work (Section 3.2).
+This package provides that extension: the input is split into length-sorted
+partitions of bounded size, each partition is self-joined, and partition
+pairs whose length ranges are within ``τ`` of each other are joined with the
+R–S join — so at most two partitions are resident at any time, and results
+stream out as they are found.
+
+* :class:`PartitionedSelfJoin` — bounded-memory self join over an iterable
+  or a file of strings.
+* :func:`partitioned_self_join` — convenience wrapper returning a
+  :class:`~repro.types.JoinResult`.
+"""
+
+from .partitioned import PartitionedSelfJoin, partitioned_self_join
+
+__all__ = ["PartitionedSelfJoin", "partitioned_self_join"]

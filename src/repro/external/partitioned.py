@@ -1,0 +1,154 @@
+"""Bounded-memory similarity self-join over length-sorted partitions.
+
+The key observation is the length filter: strings whose lengths differ by
+more than ``τ`` can never be similar.  Sorting the input by length and
+cutting it into consecutive partitions therefore localises all results to
+(a) pairs inside one partition and (b) pairs between two partitions whose
+length ranges overlap within ``τ`` — which, for reasonably sized partitions,
+means only a handful of neighbouring partitions each.
+
+The driver keeps one "left" partition in memory at a time, self-joins it,
+then R–S-joins it against each later partition that is still within the
+length window.  Peak memory is two partitions plus one segment index,
+independent of the total input size.  Because every partition pair is an
+independent job, the same plan parallelises trivially; ``processes > 1``
+runs the partition jobs in a ``multiprocessing`` pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Iterable, Iterator, Sequence
+
+from ..config import JoinConfig, validate_threshold
+from ..core.join import PassJoin
+from ..exceptions import PassJoinError
+from ..types import (JoinResult, JoinStatistics, SimilarPair, StringRecord,
+                     as_records)
+
+
+def _length_partitions(records: Sequence[StringRecord],
+                       partition_size: int) -> list[list[StringRecord]]:
+    """Cut length-sorted records into consecutive partitions."""
+    ordered = sorted(records, key=lambda record: (record.length, record.text))
+    return [list(ordered[start:start + partition_size])
+            for start in range(0, len(ordered), partition_size)]
+
+
+def _self_join_job(args: tuple[Sequence[StringRecord], int, JoinConfig | None]
+                   ) -> list[SimilarPair]:
+    records, tau, config = args
+    return PassJoin(tau, config).self_join(records).pairs
+
+
+def _cross_join_job(args: tuple[Sequence[StringRecord], Sequence[StringRecord],
+                                int, JoinConfig | None]) -> list[SimilarPair]:
+    left, right, tau, config = args
+    pairs = PassJoin(tau, config).join(left, right).pairs
+    # Record ids are global, so normalise the orientation like the self join.
+    return [SimilarPair(left_id=min(pair.left_id, pair.right_id),
+                        right_id=max(pair.left_id, pair.right_id),
+                        distance=pair.distance,
+                        left=pair.left if pair.left_id < pair.right_id else pair.right,
+                        right=pair.right if pair.left_id < pair.right_id else pair.left)
+            for pair in pairs]
+
+
+class PartitionedSelfJoin:
+    """Self join whose memory footprint is bounded by the partition size.
+
+    Parameters
+    ----------
+    tau:
+        Edit-distance threshold.
+    partition_size:
+        Maximum number of strings held in one partition (two partitions are
+        resident during cross joins).
+    config:
+        Optional :class:`~repro.config.JoinConfig` forwarded to every
+        partition job.
+    processes:
+        Number of worker processes.  ``1`` (default) runs in-process;
+        larger values distribute partition jobs over a multiprocessing pool.
+    """
+
+    def __init__(self, tau: int, partition_size: int = 10000,
+                 config: JoinConfig | None = None, processes: int = 1) -> None:
+        self.tau = validate_threshold(tau)
+        if partition_size <= 0:
+            raise PassJoinError(
+                f"partition_size must be positive, got {partition_size}")
+        if processes <= 0:
+            raise PassJoinError(f"processes must be positive, got {processes}")
+        self.partition_size = partition_size
+        self.config = config
+        self.processes = processes
+
+    # ------------------------------------------------------------------
+    def plan(self, records: Sequence[StringRecord]) -> list[tuple[int, int]]:
+        """Return the (i, j) partition jobs the join would run (i == j: self).
+
+        Mostly useful for tests and for sizing a parallel run; partitions are
+        numbered in length order.
+        """
+        partitions = _length_partitions(records, self.partition_size)
+        jobs: list[tuple[int, int]] = []
+        for i, left in enumerate(partitions):
+            if not left:
+                continue
+            jobs.append((i, i))
+            left_max = left[-1].length
+            for j in range(i + 1, len(partitions)):
+                right = partitions[j]
+                if not right:
+                    continue
+                if right[0].length - left_max > self.tau:
+                    break
+                jobs.append((i, j))
+        return jobs
+
+    # ------------------------------------------------------------------
+    def iter_pairs(self, strings: Iterable[str | StringRecord]) -> Iterator[SimilarPair]:
+        """Yield similar pairs partition by partition (bounded memory)."""
+        records = as_records(strings)
+        partitions = _length_partitions(records, self.partition_size)
+        jobs = self.plan(records)
+        job_args = []
+        for i, j in jobs:
+            if i == j:
+                job_args.append(("self", (partitions[i], self.tau, self.config)))
+            else:
+                job_args.append(("cross", (partitions[i], partitions[j],
+                                           self.tau, self.config)))
+
+        if self.processes == 1:
+            for kind, args in job_args:
+                worker = _self_join_job if kind == "self" else _cross_join_job
+                yield from worker(args)
+            return
+
+        with multiprocessing.Pool(self.processes) as pool:
+            self_jobs = [args for kind, args in job_args if kind == "self"]
+            cross_jobs = [args for kind, args in job_args if kind == "cross"]
+            for pairs in pool.imap_unordered(_self_join_job, self_jobs):
+                yield from pairs
+            for pairs in pool.imap_unordered(_cross_join_job, cross_jobs):
+                yield from pairs
+
+    def join(self, strings: Iterable[str | StringRecord]) -> JoinResult:
+        """Run the partitioned join and collect the results."""
+        started = time.perf_counter()
+        records = as_records(strings)
+        pairs = list(self.iter_pairs(records))
+        stats = JoinStatistics(num_strings=len(records), num_results=len(pairs),
+                               total_seconds=time.perf_counter() - started)
+        return JoinResult(pairs=pairs, statistics=stats)
+
+
+def partitioned_self_join(strings: Iterable[str | StringRecord], tau: int,
+                          partition_size: int = 10000,
+                          processes: int = 1) -> JoinResult:
+    """Convenience wrapper around :class:`PartitionedSelfJoin`."""
+    return PartitionedSelfJoin(tau, partition_size,
+                               processes=processes).join(strings)

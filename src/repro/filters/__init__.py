@@ -1,0 +1,30 @@
+"""Filtering primitives shared by the baseline join algorithms.
+
+Pass-Join itself only needs the length filter (built into its per-length
+index layout), but the q-gram baselines of the evaluation (All-Pairs-Ed,
+ED-Join) are built from the classic filter toolbox:
+
+* :mod:`repro.filters.length_filter` — length difference bound.
+* :mod:`repro.filters.count_filter` — q-gram count filter.
+* :mod:`repro.filters.position_filter` — positional q-gram filter.
+* :mod:`repro.filters.prefix_filter` — prefix-filtering framework.
+* :mod:`repro.filters.content_filter` — content-based mismatch filter
+  (character frequency L1 bound) used by ED-Join.
+"""
+
+from .content_filter import content_filter_passes, frequency_distance_lower_bound
+from .count_filter import count_filter_passes, minimum_shared_grams
+from .length_filter import length_filter_passes
+from .position_filter import positional_match_possible
+from .prefix_filter import prefix_length_for_edit_distance, prefixes_share_gram
+
+__all__ = [
+    "length_filter_passes",
+    "count_filter_passes",
+    "minimum_shared_grams",
+    "positional_match_possible",
+    "prefix_length_for_edit_distance",
+    "prefixes_share_gram",
+    "content_filter_passes",
+    "frequency_distance_lower_bound",
+]

@@ -1,0 +1,35 @@
+"""Length filtering.
+
+Two strings within edit distance ``τ`` differ in length by at most ``τ``
+(every insertion or deletion changes the length by exactly one and a
+substitution not at all).  This is the cheapest and most widely used filter;
+Pass-Join bakes it into the range of index lengths it probes, and every
+baseline applies it before any more expensive check.
+"""
+
+from __future__ import annotations
+
+from ..config import validate_threshold
+
+
+def length_filter_passes(length_a: int, length_b: int, tau: int) -> bool:
+    """True when strings of these lengths could be within edit distance ``tau``.
+
+    >>> length_filter_passes(10, 13, 3)
+    True
+    >>> length_filter_passes(10, 14, 3)
+    False
+    """
+    return abs(length_a - length_b) <= validate_threshold(tau)
+
+
+def compatible_length_range(length: int, tau: int) -> range:
+    """Lengths a partner string may have: ``[length − τ, length + τ]``.
+
+    The lower bound is clamped at zero.
+
+    >>> list(compatible_length_range(2, 3))
+    [0, 1, 2, 3, 4, 5]
+    """
+    tau = validate_threshold(tau)
+    return range(max(0, length - tau), length + tau + 1)

@@ -1,0 +1,24 @@
+"""Positional q-gram filtering.
+
+With positional q-grams, a gram of ``a`` at position ``p_a`` can only be
+"matched" (i.e. survive the optimal alignment) by an identical gram of ``b``
+whose position differs by at most ``τ``: any alignment shifting a character
+by more than ``τ`` positions already needs more than ``τ`` edits.  The
+q-gram baselines use this to discard inverted-list hits whose positions are
+too far apart.
+"""
+
+from __future__ import annotations
+
+from ..config import validate_threshold
+
+
+def positional_match_possible(position_a: int, position_b: int, tau: int) -> bool:
+    """True when grams at these positions can correspond under ``≤ τ`` edits.
+
+    >>> positional_match_possible(3, 5, 2)
+    True
+    >>> positional_match_possible(3, 8, 2)
+    False
+    """
+    return abs(position_a - position_b) <= validate_threshold(tau)

@@ -1,0 +1,44 @@
+"""Prefix filtering for edit-distance joins (Chaudhuri et al., ICDE 2006).
+
+Order every string's q-gram set by a fixed global ordering (rare grams
+first).  One edit operation destroys at most ``q`` q-grams, so ``τ`` edits
+destroy at most ``q·τ`` of them.  Consequently, if two strings are within
+edit distance ``τ``, they must share at least one gram among the first
+``q·τ + 1`` grams of either string's ordered gram list — the *prefix*.
+Candidate generation then only needs an inverted index over prefix grams.
+
+ED-Join (:mod:`repro.baselines.ed_join`) shrinks this prefix further with
+location-based mismatch filtering; the helpers here provide the plain
+prefix-filtering machinery shared by both q-gram baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import validate_threshold
+
+
+def prefix_length_for_edit_distance(q: int, tau: int) -> int:
+    """Length of the probing prefix for gram length ``q`` and threshold ``tau``.
+
+    >>> prefix_length_for_edit_distance(2, 3)
+    7
+    """
+    validate_threshold(tau)
+    if q <= 0:
+        raise ValueError(f"gram length q must be positive, got {q}")
+    return q * tau + 1
+
+
+def prefixes_share_gram(ordered_grams_a: Sequence[str],
+                        ordered_grams_b: Sequence[str],
+                        prefix_a: int, prefix_b: int) -> bool:
+    """True when the two prefixes have at least one gram in common.
+
+    ``ordered_grams_*`` must be sorted under the same global ordering; the
+    check walks both prefixes like a merge, so it is linear in the prefix
+    lengths.
+    """
+    set_a = set(ordered_grams_a[:prefix_a])
+    return any(gram in set_a for gram in ordered_grams_b[:prefix_b])

@@ -1,0 +1,186 @@
+"""Build-once / query-many approximate string search.
+
+:class:`PassJoinSearcher` indexes a string collection with the Pass-Join
+partition scheme for a maximum threshold ``max_tau``.  A query string ``q``
+with a per-query threshold ``tau ≤ max_tau`` is answered by probing the
+segment indices of every length in ``[|q| − tau, |q| + tau]`` with the
+multi-match-aware substring selection and verifying candidates with the
+extension-based verifier.
+
+Why a query threshold below the index threshold stays correct: the index
+partitions every string into ``max_tau + 1`` segments.  If
+``ed(r, q) ≤ tau ≤ max_tau``, then by the pigeonhole principle (Lemma 1
+applied with ``max_tau``) ``q`` contains a substring matching one of ``r``'s
+``max_tau + 1`` segments, and the selection windows — computed with the
+*index's* ``max_tau`` — cover that substring.  Probing with the smaller
+``tau`` only affects the verification bound, never the candidate coverage.
+
+Strings too short to partition (< ``max_tau + 1`` characters) are kept in a
+side pool and verified against every query that passes the length filter,
+exactly as in the join driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..config import PartitionStrategy, validate_threshold
+from ..core.index import SegmentIndex
+from ..core.partition import can_partition
+from ..core.selection import MultiMatchAwareSelector
+from ..core.verify import ExtensionVerifier, MatchContext
+from ..distance.banded import length_aware_edit_distance
+from ..exceptions import InvalidThresholdError
+from ..types import JoinStatistics, StringRecord, as_records
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class SearchMatch:
+    """One search hit: the indexed record's id, text, and edit distance."""
+
+    distance: int
+    id: int
+    text: str = ""
+
+
+class PassJoinSearcher:
+    """Approximate string search over a fixed collection.
+
+    Parameters
+    ----------
+    strings:
+        The collection to index (plain strings or
+        :class:`~repro.types.StringRecord` objects with caller-chosen ids).
+    max_tau:
+        Largest edit-distance threshold any future query may use.  Larger
+        values make the index bigger (more segments per string) and
+        individual queries slightly slower, but allow looser searches.
+    partition:
+        Partition strategy (the paper's even scheme by default).
+
+    Examples
+    --------
+    >>> searcher = PassJoinSearcher(["vldb", "pvldb", "sigmod"], max_tau=2)
+    >>> [match.text for match in searcher.search("vldbj", tau=2)]
+    ['vldb', 'pvldb']
+    """
+
+    def __init__(self, strings: Iterable[str | StringRecord], max_tau: int,
+                 partition: PartitionStrategy = PartitionStrategy.EVEN) -> None:
+        self.max_tau = validate_threshold(max_tau)
+        self.statistics = JoinStatistics()
+        self._records = as_records(strings)
+        self.statistics.num_strings = len(self._records)
+        self._index = SegmentIndex(self.max_tau, partition)
+        self._short_pool: list[StringRecord] = []
+        self._selector = MultiMatchAwareSelector(self.max_tau)
+        for record in sorted(self._records, key=lambda r: (r.length, r.text)):
+            if can_partition(record.length, self.max_tau):
+                self._index.add(record)
+                self.statistics.num_indexed_segments += self.max_tau + 1
+            else:
+                self._short_pool.append(record)
+        self.statistics.index_entries = self._index.current_entry_count
+        self.statistics.index_bytes = self._index.current_approximate_bytes
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Sequence[StringRecord]:
+        """The indexed records (in their original order)."""
+        return self._records
+
+    # ------------------------------------------------------------------
+    def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
+        """Return every indexed string within ``tau`` of ``query``.
+
+        ``tau`` defaults to the index's ``max_tau`` and must not exceed it.
+        Results are sorted by (distance, id).
+        """
+        tau = self.max_tau if tau is None else validate_threshold(tau)
+        if tau > self.max_tau:
+            raise InvalidThresholdError(tau)
+        stats = self.statistics
+        verifier = ExtensionVerifier(tau, stats)
+        matches: dict[int, SearchMatch] = {}
+
+        # Short strings: verified directly under the length filter.
+        for record in self._short_pool:
+            if abs(record.length - len(query)) > tau:
+                continue
+            stats.num_verifications += 1
+            distance = length_aware_edit_distance(record.text, query, tau, stats)
+            if distance <= tau:
+                matches[record.id] = SearchMatch(distance, record.id, record.text)
+
+        for length in range(max(0, len(query) - tau), len(query) + tau + 1):
+            if not self._index.has_length(length):
+                continue
+            layout = self._index.layout(length)
+            selections = self._selector.select(query, length, layout)
+            stats.num_selected_substrings += len(selections)
+            for selection in selections:
+                stats.num_index_probes += 1
+                postings = self._index.lookup(length, selection.ordinal,
+                                              selection.text)
+                if not postings:
+                    continue
+                candidates = [record for record in postings
+                              if record.id not in matches]
+                if not candidates:
+                    continue
+                stats.num_candidates += len(candidates)
+                context = MatchContext(ordinal=selection.ordinal,
+                                       probe_start=selection.start,
+                                       seg_start=selection.seg_start,
+                                       seg_length=selection.seg_length)
+                for record, distance in verifier.verify_candidates(
+                        query, candidates, context):
+                    matches[record.id] = SearchMatch(distance, record.id,
+                                                     record.text)
+        found = sorted(matches.values())
+        stats.num_results += len(found)
+        return found
+
+    # ------------------------------------------------------------------
+    def search_top_k(self, query: str, k: int,
+                     max_tau: int | None = None) -> list[SearchMatch]:
+        """Return the ``k`` indexed strings closest to ``query``.
+
+        The threshold is grown from 0 upwards (each round reuses the same
+        index) until ``k`` matches are found or ``max_tau`` (default: the
+        index's ``max_tau``) is reached; ties at the final distance are
+        broken by record id.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        limit = self.max_tau if max_tau is None else min(validate_threshold(max_tau),
+                                                         self.max_tau)
+        best: list[SearchMatch] = []
+        for tau in range(0, limit + 1):
+            best = self.search(query, tau)
+            if len(best) >= k:
+                break
+        return best[:k]
+
+    def contains_within(self, query: str, tau: int | None = None) -> bool:
+        """True when at least one indexed string is within ``tau`` of ``query``."""
+        return bool(self.search(query, tau))
+
+
+def search_all(strings: Iterable[str | StringRecord],
+               queries: Sequence[str], tau: int) -> dict[str, list[SearchMatch]]:
+    """Index ``strings`` once and search every query at threshold ``tau``."""
+    searcher = PassJoinSearcher(strings, max_tau=tau)
+    return {query: searcher.search(query, tau) for query in queries}
+
+
+def iter_matches(searcher: PassJoinSearcher, queries: Iterable[str],
+                 tau: int | None = None) -> Iterator[tuple[str, SearchMatch]]:
+    """Yield ``(query, match)`` pairs for a stream of queries (lazy batch search)."""
+    for query in queries:
+        for match in searcher.search(query, tau):
+            yield query, match

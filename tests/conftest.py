@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.distance import edit_distance
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def brute_force_pairs(strings, tau):
+    """Ground-truth similar pairs {(i, j): distance} with i < j."""
+    truth = {}
+    for (i, a), (j, b) in itertools.combinations(enumerate(strings), 2):
+        if abs(len(a) - len(b)) > tau:
+            continue
+        distance = edit_distance(a, b)
+        if distance <= tau:
+            truth[(min(i, j), max(i, j))] = distance
+    return truth
+
+
+def random_strings(count, min_len, max_len, alphabet="abcd", seed=0):
+    """Deterministic random strings over a small alphabet (collision-rich)."""
+    rng = random.Random(seed)
+    return ["".join(rng.choice(alphabet) for _ in range(rng.randint(min_len, max_len)))
+            for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def paper_strings():
+    """The six strings of Table 1 of the paper."""
+    return [
+        "vankatesh",
+        "avataresha",
+        "kaushic chaduri",
+        "kaushik chakrab",
+        "kaushuk chadhui",
+        "caushik chakrabar",
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_random_strings():
+    """A small collision-rich random collection used by many oracle tests."""
+    return random_strings(120, 2, 16, alphabet="abc", seed=11)
+
+
+@pytest.fixture(scope="session")
+def name_like_strings():
+    """Name-shaped strings with planted near-duplicates."""
+    from repro.datasets import generate_author_dataset
+
+    return generate_author_dataset(300, seed=5)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

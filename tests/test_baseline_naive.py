@@ -1,0 +1,56 @@
+"""Unit tests for the brute-force reference join."""
+
+import itertools
+
+from repro.baselines.naive import NaiveJoin, naive_join
+from repro.distance import edit_distance
+
+from .conftest import random_strings
+
+
+class TestNaiveSelfJoin:
+    def test_paper_example(self, paper_strings):
+        result = naive_join(paper_strings, 3)
+        assert {(pair.left, pair.right) for pair in result} == {
+            ("kaushik chakrab", "caushik chakrabar")}
+
+    def test_empty_and_singleton(self):
+        assert len(naive_join([], 2)) == 0
+        assert len(naive_join(["abc"], 2)) == 0
+
+    def test_matches_itertools_oracle(self):
+        strings = random_strings(60, 2, 10, alphabet="abc", seed=3)
+        tau = 2
+        expected = set()
+        for (i, a), (j, b) in itertools.combinations(enumerate(strings), 2):
+            if edit_distance(a, b) <= tau:
+                expected.add((min(i, j), max(i, j)))
+        assert naive_join(strings, tau).pair_ids() == expected
+
+    def test_candidate_count_respects_length_filter(self):
+        strings = ["a", "ab", "abcdefghij"]
+        result = naive_join(strings, 1)
+        # (a, ab) is the only length-compatible pair at tau=1.
+        assert result.statistics.num_candidates == 1
+
+    def test_distances_are_exact(self):
+        result = naive_join(["kitten", "sitting", "mitten"], 3)
+        distances = {frozenset((pair.left, pair.right)): pair.distance
+                     for pair in result}
+        assert distances[frozenset(("kitten", "sitting"))] == 3
+        assert distances[frozenset(("kitten", "mitten"))] == 1
+
+
+class TestNaiveRSJoin:
+    def test_basic(self):
+        result = NaiveJoin(1).join(["vldb", "icde"], ["pvldb", "icdm"])
+        assert result.pair_ids() == {(0, 0), (1, 1)}
+
+    def test_orientation(self):
+        pair = NaiveJoin(1).join(["abc"], ["abd"]).pairs[0]
+        assert pair.left == "abc" and pair.right == "abd"
+
+    def test_statistics(self):
+        result = NaiveJoin(2).self_join(["aaa", "aab", "zzzz"])
+        assert result.statistics.num_strings == 3
+        assert result.statistics.num_results == len(result)

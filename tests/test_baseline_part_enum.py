@@ -1,0 +1,55 @@
+"""Tests for the Part-Enum baseline."""
+
+import pytest
+
+from repro.baselines.part_enum import PartEnumJoin, _stable_hash, part_enum_join
+
+from .conftest import brute_force_pairs, random_strings
+
+
+class TestSignatures:
+    def test_signature_count_is_n1_times_n2(self):
+        join = PartEnumJoin(tau=2, q=2)
+        signatures = join.signatures("similarity")
+        assert len(signatures) == join.n1 * join.n2
+
+    def test_identical_strings_share_all_signatures(self):
+        join = PartEnumJoin(tau=1, q=2)
+        assert join.signatures("identical") == join.signatures("identical")
+
+    def test_similar_strings_share_at_least_one_signature(self):
+        join = PartEnumJoin(tau=2, q=2)
+        a = set(join.signatures("partition based method"))
+        b = set(join.signatures("partition based methods"))
+        assert a & b
+
+    def test_stable_hash_is_deterministic(self):
+        assert _stable_hash("gram") == _stable_hash("gram")
+        assert _stable_hash("gram") != _stable_hash("marg")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PartEnumJoin(tau=2, q=0)
+
+
+class TestPartEnumCorrectness:
+    def test_paper_example(self, paper_strings):
+        result = part_enum_join(paper_strings, 3)
+        assert {(pair.left, pair.right) for pair in result} == {
+            ("kaushik chakrab", "caushik chakrabar")}
+
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_matches_brute_force(self, tau):
+        strings = random_strings(70, 2, 12, alphabet="abc", seed=29)
+        truth = set(brute_force_pairs(strings, tau))
+        assert part_enum_join(strings, tau).pair_ids() == truth
+
+    def test_empty_collection(self):
+        assert len(part_enum_join([], 2)) == 0
+
+    def test_statistics_populated(self):
+        strings = ["alpha", "alphb", "gamma", "gamme"]
+        stats = part_enum_join(strings, 1).statistics
+        assert stats.num_selected_substrings > 0  # signatures generated
+        assert stats.index_entries > 0
+        assert stats.num_results == 2

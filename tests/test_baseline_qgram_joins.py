@@ -1,0 +1,103 @@
+"""Tests for the q-gram baselines: All-Pairs-Ed and ED-Join."""
+
+import pytest
+
+from repro.baselines.all_pairs_ed import AllPairsEdJoin, all_pairs_ed_join
+from repro.baselines.ed_join import EdJoin, ed_join, min_edit_errors
+from repro.baselines.qgram import positional_qgrams
+
+from .conftest import brute_force_pairs, random_strings
+
+
+class TestMinEditErrors:
+    def test_empty_set_needs_no_edits(self):
+        assert min_edit_errors([], 3) == 0
+
+    def test_single_gram_needs_one_edit(self):
+        assert min_edit_errors(positional_qgrams("abc", 3), 3) == 1
+
+    def test_disjoint_grams_need_one_edit_each(self):
+        grams = [g for g in positional_qgrams("abcdefgh", 2) if g.position % 2 == 0]
+        assert min_edit_errors(grams, 2) == 4
+
+    def test_overlapping_grams_can_share_an_edit(self):
+        # grams at positions 0 and 1 with q=2 overlap at position 1.
+        grams = positional_qgrams("abc", 2)
+        assert min_edit_errors(grams, 2) == 1
+
+    def test_order_does_not_matter(self):
+        grams = positional_qgrams("abcdefghij", 3)
+        assert min_edit_errors(list(reversed(grams)), 3) == min_edit_errors(grams, 3)
+
+
+class TestEdJoinPrefix:
+    def test_prefix_is_no_longer_than_all_pairs_prefix(self):
+        strings = random_strings(50, 8, 20, alphabet="abcdef", seed=8)
+        tau, q = 2, 3
+        ed = EdJoin(tau, q)
+        ap = AllPairsEdJoin(tau, q)
+        from collections import Counter
+        from repro.baselines.qgram import gram_document_frequencies, order_grams
+        frequencies = gram_document_frequencies(strings, q)
+        for text in strings:
+            ordered = order_grams(positional_qgrams(text, q), frequencies)
+            ed_prefix = ed.prefix_grams(ordered, len(text))
+            ap_prefix = ap.prefix_grams(ordered, len(text))
+            if ed_prefix is not None and ap_prefix is not None:
+                assert len(ed_prefix) <= len(ap_prefix)
+
+    def test_unfilterable_string_returns_none(self):
+        # A 3-character string with q=3 has one gram; one edit destroys it,
+        # so no prefix can certify tau = 2.
+        ed = EdJoin(2, 3)
+        ordered = positional_qgrams("abc", 3)
+        assert ed.prefix_grams(ordered, 3) is None
+
+
+@pytest.mark.parametrize("factory,q", [
+    (all_pairs_ed_join, 2),
+    (all_pairs_ed_join, 3),
+    (ed_join, 2),
+    (ed_join, 3),
+])
+class TestQGramJoinCorrectness:
+    def test_paper_example(self, paper_strings, factory, q):
+        result = factory(paper_strings, 3, q=q)
+        assert {(pair.left, pair.right) for pair in result} == {
+            ("kaushik chakrab", "caushik chakrabar")}
+
+    @pytest.mark.parametrize("tau", [0, 1, 2, 3])
+    def test_matches_brute_force_on_random_strings(self, factory, q, tau):
+        strings = random_strings(90, 2, 16, alphabet="abc", seed=17)
+        truth = set(brute_force_pairs(strings, tau))
+        assert factory(strings, tau, q=q).pair_ids() == truth
+
+    def test_matches_brute_force_on_name_data(self, name_like_strings, factory, q):
+        tau = 2
+        truth = set(brute_force_pairs(name_like_strings, tau))
+        assert factory(name_like_strings, tau, q=q).pair_ids() == truth
+
+
+class TestQGramJoinBehaviour:
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            AllPairsEdJoin(2, q=0)
+
+    def test_ed_join_generates_no_more_candidates_than_all_pairs(self,
+                                                                 name_like_strings):
+        tau, q = 2, 3
+        ap = AllPairsEdJoin(tau, q).self_join(name_like_strings)
+        ed = EdJoin(tau, q).self_join(name_like_strings)
+        assert ed.pair_ids() == ap.pair_ids()
+        assert ed.statistics.num_candidates <= ap.statistics.num_candidates
+
+    def test_statistics_populated(self, name_like_strings):
+        stats = EdJoin(2, 3).self_join(name_like_strings).statistics
+        assert stats.num_strings == len(name_like_strings)
+        assert stats.index_entries > 0
+        assert stats.index_bytes > 0
+        assert stats.num_candidates >= stats.num_results
+
+    def test_empty_collection(self):
+        assert len(EdJoin(2).self_join([])) == 0
+        assert len(AllPairsEdJoin(2).self_join([])) == 0

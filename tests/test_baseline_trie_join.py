@@ -1,0 +1,90 @@
+"""Tests for the Trie-Join baseline."""
+
+import pytest
+
+from repro.baselines.trie_join import Trie, TrieJoin, trie_join
+from repro.types import StringRecord
+
+from .conftest import brute_force_pairs, random_strings
+
+
+class TestTrie:
+    def test_insert_and_node_count(self):
+        trie = Trie()
+        trie.insert(StringRecord(0, "abc"))
+        trie.insert(StringRecord(1, "abd"))
+        # root + a + b + c + d
+        assert trie.node_count == 5
+        assert trie.record_count == 2
+
+    def test_shared_prefixes_share_nodes(self):
+        trie = Trie()
+        trie.insert(StringRecord(0, "prefix-one"))
+        trie.insert(StringRecord(1, "prefix-two"))
+        separate = Trie()
+        separate.insert(StringRecord(0, "prefix-one"))
+        separate.insert(StringRecord(1, "qrstuv-two"))
+        assert trie.node_count < separate.node_count
+
+    def test_duplicate_strings_share_terminal_node(self):
+        trie = Trie()
+        trie.insert(StringRecord(0, "same"))
+        trie.insert(StringRecord(1, "same"))
+        terminals = [node for _, node in trie.walk() if node.terminal_records]
+        assert len(terminals) == 1
+        assert len(terminals[0].terminal_records) == 2
+
+    def test_walk_yields_all_prefixes(self):
+        trie = Trie()
+        trie.insert(StringRecord(0, "ab"))
+        prefixes = {prefix for prefix, _ in trie.walk()}
+        assert prefixes == {"", "a", "ab"}
+
+    def test_approximate_bytes_positive(self):
+        trie = Trie()
+        trie.insert(StringRecord(0, "hello"))
+        assert trie.approximate_bytes() > 0
+        assert trie.deep_bytes() > 0
+
+
+class TestTrieJoinCorrectness:
+    def test_paper_example(self, paper_strings):
+        result = trie_join(paper_strings, 3)
+        assert {(pair.left, pair.right) for pair in result} == {
+            ("kaushik chakrab", "caushik chakrabar")}
+
+    @pytest.mark.parametrize("tau", [0, 1, 2, 3])
+    def test_matches_brute_force(self, tau):
+        strings = random_strings(90, 2, 14, alphabet="abc", seed=23)
+        truth = set(brute_force_pairs(strings, tau))
+        assert trie_join(strings, tau).pair_ids() == truth
+
+    def test_matches_brute_force_on_names(self, name_like_strings):
+        truth = set(brute_force_pairs(name_like_strings, 2))
+        assert trie_join(name_like_strings, 2).pair_ids() == truth
+
+    def test_distances_are_exact(self):
+        result = trie_join(["kitten", "mitten", "sitting"], 3)
+        distances = {frozenset((pair.left, pair.right)): pair.distance
+                     for pair in result}
+        assert distances[frozenset(("kitten", "mitten"))] == 1
+        assert distances[frozenset(("kitten", "sitting"))] == 3
+
+    def test_empty_and_duplicates(self):
+        assert len(trie_join([], 1)) == 0
+        assert trie_join(["x", "x", "x"], 0).pair_ids() == {(0, 1), (0, 2), (1, 2)}
+
+
+class TestTrieJoinBehaviour:
+    def test_statistics_record_trie_size(self, name_like_strings):
+        stats = TrieJoin(1).self_join(name_like_strings).statistics
+        assert stats.index_entries > len(name_like_strings)  # trie nodes
+        assert stats.index_bytes > 0
+        assert stats.num_matrix_cells > 0
+
+    def test_prefix_pruning_prunes_branches(self):
+        # Two clusters far apart: probing one cluster must prune the other.
+        strings = (["aaaaaaaaaa" + suffix for suffix in ("x", "y", "z")]
+                   + ["zzzzzzzzzz" + suffix for suffix in ("x", "y", "z")])
+        stats = TrieJoin(1).self_join(strings).statistics
+        assert stats.num_early_terminations > 0

@@ -1,0 +1,90 @@
+"""Tests for the benchmark harness primitives and reporting."""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, Timer, geometric_speedup, scaled
+from repro.bench.reporting import format_table, tables_to_markdown
+from repro.exceptions import ExperimentError
+
+
+class TestExperimentTable:
+    def _table(self):
+        return ExperimentTable(key="demo", title="Demo", columns=["x", "y"])
+
+    def test_add_row_and_column(self):
+        table = self._table()
+        table.add_row(x=1, y=2)
+        table.add_row(x=3, y=4)
+        assert table.column("y") == [2, 4]
+
+    def test_add_row_missing_column(self):
+        with pytest.raises(ExperimentError):
+            self._table().add_row(x=1)
+
+    def test_unknown_column(self):
+        with pytest.raises(ExperimentError):
+            self._table().column("z")
+
+    def test_filter_rows(self):
+        table = self._table()
+        table.add_row(x=1, y="a")
+        table.add_row(x=2, y="a")
+        table.add_row(x=1, y="b")
+        assert len(table.filter_rows(x=1)) == 2
+        assert table.filter_rows(x=1, y="b")[0]["y"] == "b"
+
+
+class TestTimerAndScaling:
+    def test_timer_measures_nonnegative_time(self):
+        with Timer() as timer:
+            sum(range(10000))
+        assert timer.seconds >= 0
+
+    def test_scaled_sizes(self):
+        assert scaled({"a": 1000, "b": 400}, 0.5) == {"a": 500, "b": 200}
+
+    def test_scaled_floor(self):
+        assert scaled({"a": 100}, 0.001) == {"a": 50}
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ExperimentError):
+            scaled({"a": 100}, 0)
+
+    def test_geometric_speedup(self):
+        assert geometric_speedup([1.0, 1.0], [2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_speedup_validation(self):
+        with pytest.raises(ExperimentError):
+            geometric_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            geometric_speedup([0.0], [1.0])
+
+
+class TestReporting:
+    def _table(self):
+        table = ExperimentTable(key="t", title="Numbers", columns=["name", "value"],
+                                notes="a note")
+        table.add_row(name="pi", value=3.14159)
+        table.add_row(name="big", value=1234567)
+        return table
+
+    def test_plain_text_rendering(self):
+        text = format_table(self._table())
+        assert "Numbers" in text
+        assert "pi" in text and "3.142" in text
+        assert "1,234,567" in text
+        assert "a note" in text
+
+    def test_markdown_rendering(self):
+        markdown = format_table(self._table(), markdown=True)
+        assert markdown.startswith("| name")
+        assert "|---" in markdown.replace(" ", "")
+
+    def test_tables_to_markdown(self):
+        document = tables_to_markdown([self._table()])
+        assert "### Numbers" in document
+        assert "*a note*" in document
+
+    def test_empty_table_renders(self):
+        table = ExperimentTable(key="empty", title="Empty", columns=["a"])
+        assert "Empty" in format_table(table)

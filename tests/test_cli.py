@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import save_strings
+
+
+@pytest.fixture
+def strings_file(tmp_path):
+    path = tmp_path / "strings.txt"
+    save_strings(path, ["vldb", "pvldb", "sigmod", "sigmmod", "icde"])
+    return path
+
+
+@pytest.fixture
+def right_file(tmp_path):
+    path = tmp_path / "right.txt"
+    save_strings(path, ["vldb journal", "pvldb", "edbt"])
+    return path
+
+
+class TestJoinCommand:
+    def test_self_join_prints_pairs_and_summary(self, strings_file, capsys):
+        assert main(["join", str(strings_file), "--tau", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "vldb\tpvldb" in captured.out
+        assert "sigmod\tsigmmod" in captured.out
+        assert "pairs=2" in captured.err
+
+    def test_quiet_suppresses_pairs(self, strings_file, capsys):
+        assert main(["join", str(strings_file), "--tau", "1", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "pairs=2" in captured.err
+
+    def test_rs_join(self, strings_file, right_file, capsys):
+        assert main(["join", str(strings_file), "--right", str(right_file),
+                     "--tau", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "vldb\tpvldb" in captured.out
+
+    @pytest.mark.parametrize("algorithm", ["pass-join", "ed-join", "trie-join", "naive"])
+    def test_every_algorithm_gives_same_answer(self, strings_file, capsys, algorithm):
+        assert main(["join", str(strings_file), "--tau", "1",
+                     "--algorithm", algorithm]) == 0
+        captured = capsys.readouterr()
+        assert "pairs=2" in captured.err
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        code = main(["join", str(tmp_path / "nope.txt"), "--tau", "1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_rs_join_unsupported_algorithm(self, strings_file, right_file, capsys):
+        code = main(["join", str(strings_file), "--right", str(right_file),
+                     "--tau", "1", "--algorithm", "trie-join"])
+        assert code == 2
+
+    def test_selection_and_verification_flags(self, strings_file, capsys):
+        assert main(["join", str(strings_file), "--tau", "2",
+                     "--selection", "position", "--verification", "extension",
+                     "--quiet"]) == 0
+
+
+class TestGenerateAndStats:
+    def test_generate_then_stats(self, tmp_path, capsys):
+        output = tmp_path / "authors.txt"
+        assert main(["generate", "author", str(output), "--size", "150"]) == 0
+        assert output.exists()
+        assert "wrote 150 strings" in capsys.readouterr().out
+
+        assert main(["stats", str(output)]) == 0
+        captured = capsys.readouterr()
+        assert "cardinality: 150" in captured.out
+
+    def test_stats_with_limit(self, strings_file, capsys):
+        assert main(["stats", str(strings_file), "--limit", "2"]) == 0
+        assert "cardinality: 2" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_table2_experiment(self, capsys):
+        assert main(["experiment", "table2", "--scale", "0.05"]) == 0
+        captured = capsys.readouterr()
+        assert "author" in captured.out and "title" in captured.out
+
+    def test_markdown_output(self, capsys):
+        assert main(["experiment", "table2", "--scale", "0.05", "--markdown"]) == 0
+        assert captured_markdown_header(capsys.readouterr().out)
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])
+
+
+def captured_markdown_header(output: str) -> bool:
+    return output.lstrip().startswith("| dataset")
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "passjoin" in capsys.readouterr().out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,63 @@
+"""Unit tests for configuration objects and validation helpers."""
+
+import pytest
+
+from repro.config import (DEFAULT_CONFIG, JoinConfig, PartitionStrategy,
+                          SelectionMethod, VerificationMethod, validate_threshold)
+from repro.exceptions import ConfigurationError, InvalidThresholdError
+
+
+class TestValidateThreshold:
+    def test_accepts_zero_and_positive(self):
+        assert validate_threshold(0) == 0
+        assert validate_threshold(7) == 7
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "2", None, True])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(InvalidThresholdError):
+            validate_threshold(bad)
+
+
+class TestJoinConfig:
+    def test_defaults_are_the_papers_best_methods(self):
+        assert DEFAULT_CONFIG.selection is SelectionMethod.MULTI_MATCH
+        assert DEFAULT_CONFIG.verification is VerificationMethod.SHARE_PREFIX
+        assert DEFAULT_CONFIG.partition is PartitionStrategy.EVEN
+
+    def test_string_values_are_coerced_to_enums(self):
+        config = JoinConfig(selection="position", verification="banded",
+                            partition="even")
+        assert config.selection is SelectionMethod.POSITION
+        assert config.verification is VerificationMethod.BANDED
+
+    def test_from_names(self):
+        config = JoinConfig.from_names(selection="length",
+                                       verification="extension")
+        assert config.selection is SelectionMethod.LENGTH
+        assert config.verification is VerificationMethod.EXTENSION
+
+    def test_from_names_unknown_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            JoinConfig.from_names(selection="does-not-exist")
+
+    def test_invalid_enum_value_raises(self):
+        with pytest.raises(ValueError):
+            JoinConfig(selection="nonsense")
+
+    def test_config_is_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.selection = SelectionMethod.LENGTH
+
+
+class TestEnums:
+    def test_selection_method_values(self):
+        assert {m.value for m in SelectionMethod} == {
+            "length", "shift", "position", "multi-match"}
+
+    def test_verification_method_values(self):
+        assert {m.value for m in VerificationMethod} == {
+            "banded", "length-aware", "extension", "share-prefix", "myers"}
+
+    def test_partition_strategy_values(self):
+        assert {m.value for m in PartitionStrategy} == {
+            "even", "left-heavy", "right-heavy"}

@@ -1,0 +1,93 @@
+"""Unit tests for the unbounded edit-distance kernels."""
+
+import pytest
+
+from repro.distance.levenshtein import (edit_distance,
+                                        edit_distance_unit_cost_matrix,
+                                        longest_common_prefix)
+
+
+class TestEditDistance:
+    def test_identical_strings(self):
+        assert edit_distance("similarity", "similarity") == 0
+
+    def test_empty_strings(self):
+        assert edit_distance("", "") == 0
+
+    def test_one_empty_string(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_single_substitution(self):
+        assert edit_distance("cat", "car") == 1
+
+    def test_single_insertion(self):
+        assert edit_distance("vldb", "pvldb") == 1
+
+    def test_single_deletion(self):
+        assert edit_distance("pvldb", "vldb") == 1
+
+    def test_paper_running_example(self):
+        # Section 2: ed("kaushic chaduri", "kaushuk chadhui") = 4
+        assert edit_distance("kaushic chaduri", "kaushuk chadhui") == 4
+
+    def test_paper_answer_pair(self):
+        # <s4, s6> from Figure 1 is the only answer at tau = 3.
+        assert edit_distance("kaushik chakrab", "caushik chakrabar") == 3
+
+    def test_kitten_sitting(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_symmetry(self):
+        assert edit_distance("abcdef", "azced") == edit_distance("azced", "abcdef")
+
+    def test_completely_different(self):
+        assert edit_distance("aaaa", "bbbb") == 4
+
+    def test_unicode(self):
+        assert edit_distance("naïve", "naive") == 1
+
+    def test_triangle_inequality_sample(self):
+        a, b, c = "partition", "participation", "station"
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestEditDistanceMatrix:
+    def test_matrix_dimensions(self):
+        matrix = edit_distance_unit_cost_matrix("abc", "ab")
+        assert len(matrix) == 4
+        assert all(len(row) == 3 for row in matrix)
+
+    def test_matrix_borders(self):
+        matrix = edit_distance_unit_cost_matrix("abc", "xy")
+        assert [row[0] for row in matrix] == [0, 1, 2, 3]
+        assert matrix[0] == [0, 1, 2]
+
+    def test_matrix_final_cell_equals_distance(self):
+        a, b = "kaushik chakrab", "caushik chakrabar"
+        matrix = edit_distance_unit_cost_matrix(a, b)
+        assert matrix[len(a)][len(b)] == edit_distance(a, b)
+
+    def test_matrix_prefix_property(self):
+        a, b = "banana", "bandana"
+        matrix = edit_distance_unit_cost_matrix(a, b)
+        for i in range(len(a) + 1):
+            for j in range(len(b) + 1):
+                assert matrix[i][j] == edit_distance(a[:i], b[:j])
+
+
+class TestLongestCommonPrefix:
+    def test_no_common_prefix(self):
+        assert longest_common_prefix("abc", "xyz") == 0
+
+    def test_full_common_prefix(self):
+        assert longest_common_prefix("abc", "abc") == 3
+
+    def test_partial_prefix(self):
+        assert longest_common_prefix("abcdef", "abcxyz") == 3
+
+    def test_one_is_prefix_of_other(self):
+        assert longest_common_prefix("abc", "abcdef") == 3
+
+    def test_empty_string(self):
+        assert longest_common_prefix("", "abc") == 0

@@ -1,0 +1,56 @@
+"""Unit tests for the bit-parallel Myers kernel."""
+
+import random
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance
+from repro.distance.myers import myers_edit_distance, myers_edit_distance_within
+from repro.exceptions import InvalidThresholdError
+
+
+class TestMyersEditDistance:
+    def test_identical(self):
+        assert myers_edit_distance("pass-join", "pass-join") == 0
+
+    def test_empty(self):
+        assert myers_edit_distance("", "") == 0
+        assert myers_edit_distance("", "abc") == 3
+        assert myers_edit_distance("abc", "") == 3
+
+    def test_kitten_sitting(self):
+        assert myers_edit_distance("kitten", "sitting") == 3
+
+    def test_paper_example(self):
+        assert myers_edit_distance("kaushic chaduri", "kaushuk chadhui") == 4
+
+    def test_matches_dp_on_random_strings(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            a = "".join(rng.choice("abcd") for _ in range(rng.randint(0, 20)))
+            b = "".join(rng.choice("abcd") for _ in range(rng.randint(0, 20)))
+            assert myers_edit_distance(a, b) == edit_distance(a, b), (a, b)
+
+    def test_long_pattern_beyond_64_characters(self):
+        # Python integers are arbitrary precision, so patterns longer than a
+        # machine word must still be handled correctly.
+        a = "x" * 100 + "abcdefghij" + "y" * 50
+        b = "x" * 100 + "abcdefghij" + "y" * 50
+        assert myers_edit_distance(a, b) == 0
+        assert myers_edit_distance(a, b[:-3]) == 3
+        assert myers_edit_distance(a, b.replace("abcde", "vwxyz")) == 5
+
+
+class TestMyersBounded:
+    def test_within(self):
+        assert myers_edit_distance_within("vldb", "pvldb", 2) == 1
+
+    def test_capped(self):
+        assert myers_edit_distance_within("aaaa", "bbbb", 2) == 3
+
+    def test_length_short_circuit(self):
+        assert myers_edit_distance_within("ab", "abcdefgh", 3) == 4
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            myers_edit_distance_within("a", "b", -2)

@@ -1,0 +1,70 @@
+"""Property-based tests (hypothesis) for the edit-distance kernels."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.distance.banded import banded_edit_distance, length_aware_edit_distance
+from repro.distance.levenshtein import edit_distance
+from repro.distance.myers import myers_edit_distance
+from repro.distance.shared_prefix import SharedPrefixVerifier
+
+short_text = st.text(alphabet="abcXYZ ", max_size=18)
+taus = st.integers(min_value=0, max_value=5)
+
+
+@given(a=short_text, b=short_text)
+@settings(max_examples=200, deadline=None)
+def test_edit_distance_is_a_metric(a, b):
+    distance = edit_distance(a, b)
+    assert distance >= 0
+    assert (distance == 0) == (a == b)
+    assert distance == edit_distance(b, a)
+    # Upper and lower bounds of the metric.
+    assert distance <= max(len(a), len(b))
+    assert distance >= abs(len(a) - len(b))
+
+
+@given(a=short_text, b=short_text, c=short_text)
+@settings(max_examples=100, deadline=None)
+def test_edit_distance_triangle_inequality(a, b, c):
+    assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+@given(a=short_text, b=short_text, tau=taus)
+@settings(max_examples=300, deadline=None)
+def test_banded_kernel_matches_exact(a, b, tau):
+    exact = edit_distance(a, b)
+    expected = exact if exact <= tau else tau + 1
+    assert banded_edit_distance(a, b, tau) == expected
+
+
+@given(a=short_text, b=short_text, tau=taus)
+@settings(max_examples=300, deadline=None)
+def test_length_aware_kernel_matches_exact(a, b, tau):
+    exact = edit_distance(a, b)
+    expected = exact if exact <= tau else tau + 1
+    assert length_aware_edit_distance(a, b, tau) == expected
+
+
+@given(a=short_text, b=short_text)
+@settings(max_examples=200, deadline=None)
+def test_myers_matches_exact(a, b):
+    assert myers_edit_distance(a, b) == edit_distance(a, b)
+
+
+@given(probe=short_text, texts=st.lists(short_text, min_size=1, max_size=15),
+       tau=taus)
+@settings(max_examples=150, deadline=None)
+def test_shared_prefix_verifier_matches_exact_in_any_order(probe, texts, tau):
+    verifier = SharedPrefixVerifier(probe, tau)
+    for text in sorted(texts):
+        exact = edit_distance(text, probe)
+        expected = exact if exact <= tau else tau + 1
+        assert verifier.distance(text) == expected
+
+
+@given(a=short_text, b=short_text, tau=taus)
+@settings(max_examples=150, deadline=None)
+def test_concatenation_is_additive_upper_bound(a, b, tau):
+    """ed(a+x, b+y) <= ed(a, b) + ed(x, y) — the extension-verification bound."""
+    x, y = "suffix", "suffxi"
+    assert edit_distance(a + x, b + y) <= edit_distance(a, b) + edit_distance(x, y)

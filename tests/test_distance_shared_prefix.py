@@ -1,0 +1,96 @@
+"""Unit tests for the shared-prefix incremental verifier (Section 5.3)."""
+
+import random
+
+from repro.distance.levenshtein import edit_distance
+from repro.distance.shared_prefix import SharedPrefixVerifier
+from repro.types import JoinStatistics
+
+
+def _bounded(exact: int, tau: int) -> int:
+    return exact if exact <= tau else tau + 1
+
+
+class TestSharedPrefixVerifier:
+    def test_single_string_matches_exact_distance(self):
+        verifier = SharedPrefixVerifier("partition", tau=3)
+        assert verifier.distance("petition") == edit_distance("partition", "petition")
+
+    def test_identical_string_fast_path(self):
+        verifier = SharedPrefixVerifier("abc", tau=1)
+        assert verifier.distance("abc") == 0
+
+    def test_above_threshold_capped(self):
+        verifier = SharedPrefixVerifier("aaaa", tau=2)
+        assert verifier.distance("bbbb") == 3
+
+    def test_length_filter(self):
+        verifier = SharedPrefixVerifier("short", tau=2)
+        assert verifier.distance("a much longer string") == 3
+
+    def test_sequence_of_sorted_strings_matches_oracle(self):
+        probe = "kaushik chakrab"
+        strings = sorted([
+            "kaushik chakrab", "kaushik chakrob", "kaushik chadhui",
+            "kaushuk chadhui", "kaushic chaduri", "kaushic chadura",
+            "caushik chakrab", "caushik chakrar",
+        ])
+        tau = 3
+        verifier = SharedPrefixVerifier(probe, tau)
+        for text in strings:
+            expected = _bounded(edit_distance(text, probe), tau)
+            assert verifier.distance(text) == expected, text
+
+    def test_prefix_reuse_happens_for_sorted_equal_length_strings(self):
+        probe = "similarity joins"
+        strings = sorted(["similarity joint", "similarity foins", "similarity joinz",
+                          "similarity johns"])
+        verifier = SharedPrefixVerifier(probe, tau=2)
+        for text in strings:
+            verifier.distance(text)
+        assert verifier.cache_hits > 0
+        assert verifier.rows_reused > 0
+
+    def test_reuse_does_not_change_results_random(self):
+        rng = random.Random(99)
+        probe = "".join(rng.choice("abc") for _ in range(12))
+        strings = sorted("".join(rng.choice("abc") for _ in range(12))
+                         for _ in range(60))
+        tau = 3
+        verifier = SharedPrefixVerifier(probe, tau)
+        for text in strings:
+            assert verifier.distance(text) == _bounded(edit_distance(text, probe), tau)
+
+    def test_mixed_lengths_invalidate_cache_but_stay_correct(self):
+        probe = "abcdefgh"
+        strings = ["abcd", "abcdefgh", "abcdefghij", "abcdexgh", "abxdefgh"]
+        tau = 2
+        verifier = SharedPrefixVerifier(probe, tau)
+        for text in strings:
+            assert verifier.distance(text) == _bounded(edit_distance(text, probe), tau)
+
+    def test_shares_fewer_cells_than_recomputing(self):
+        probe = "approximate string matching"
+        variants = sorted(probe[:20] + suffix
+                          for suffix in ["matchee", "matcher", "matches", "matchez"])
+        shared_stats = JoinStatistics()
+        shared = SharedPrefixVerifier(probe, tau=3, stats=shared_stats)
+        for text in variants:
+            shared.distance(text)
+
+        independent_stats = JoinStatistics()
+        for text in variants:
+            SharedPrefixVerifier(probe, tau=3, stats=independent_stats).distance(text)
+        assert shared_stats.num_matrix_cells < independent_stats.num_matrix_cells
+
+    def test_reset_clears_cache(self):
+        verifier = SharedPrefixVerifier("abcdef", tau=1)
+        verifier.distance("abcdeg")
+        verifier.reset()
+        assert verifier.distance("abcdeh") == 1
+        assert verifier.cache_hits == 0
+
+    def test_zero_threshold(self):
+        verifier = SharedPrefixVerifier("exact", tau=0)
+        assert verifier.distance("exact") == 0
+        assert verifier.distance("exacu") == 1

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end-to-end on a small input."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=300, check=False)
+
+
+def test_examples_directory_is_complete():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "author_deduplication.py", "query_log_analysis.py",
+            "long_title_join.py", "entity_lookup_service.py"} <= names
+
+
+def test_quickstart_runs_and_prints_paper_answer():
+    completed = _run("quickstart.py")
+    assert completed.returncode == 0, completed.stderr
+    assert "kaushik chakrab" in completed.stdout
+    assert "vldb" in completed.stdout
+
+
+def test_author_deduplication_runs():
+    completed = _run("author_deduplication.py", "400")
+    assert completed.returncode == 0, completed.stderr
+    assert "duplicate clusters" in completed.stdout
+
+
+def test_query_log_analysis_runs():
+    completed = _run("query_log_analysis.py", "200")
+    assert completed.returncode == 0, completed.stderr
+    assert "multi-match" in completed.stdout
+
+
+def test_long_title_join_runs():
+    completed = _run("long_title_join.py", "120")
+    assert completed.returncode == 0, completed.stderr
+    assert "planted matches recovered" in completed.stdout
+
+
+def test_entity_lookup_service_runs():
+    completed = _run("entity_lookup_service.py", "600", "40")
+    assert completed.returncode == 0, completed.stderr
+    assert "speed-up" in completed.stdout
+
+
+@pytest.mark.parametrize("script", sorted(
+    path.name for path in EXAMPLES_DIR.glob("*.py")))
+def test_examples_have_module_docstrings(script):
+    source = (EXAMPLES_DIR / script).read_text(encoding="utf-8")
+    assert '"""' in source.split("\n", 3)[1] or source.lstrip().startswith('#!'), script

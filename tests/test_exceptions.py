@@ -1,0 +1,39 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (ConfigurationError, DatasetError, ExperimentError,
+                              InvalidPartitionError, InvalidThresholdError,
+                              PassJoinError, UnknownMethodError)
+
+
+def test_all_errors_derive_from_passjoinerror():
+    for error_type in (InvalidThresholdError, InvalidPartitionError,
+                       ConfigurationError, UnknownMethodError, DatasetError,
+                       ExperimentError):
+        assert issubclass(error_type, PassJoinError)
+
+
+def test_value_errors_are_also_value_errors():
+    assert issubclass(InvalidThresholdError, ValueError)
+    assert issubclass(InvalidPartitionError, ValueError)
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_invalid_threshold_message_contains_value():
+    error = InvalidThresholdError(-3)
+    assert "-3" in str(error)
+    assert error.tau == -3
+
+
+def test_unknown_method_error_lists_known_methods():
+    error = UnknownMethodError("selection method", "bogus", ("length", "shift"))
+    message = str(error)
+    assert "bogus" in message
+    assert "length" in message and "shift" in message
+    assert error.kind == "selection method"
+
+
+def test_catching_base_class_catches_everything():
+    with pytest.raises(PassJoinError):
+        raise DatasetError("missing file")

@@ -1,0 +1,113 @@
+"""Unit tests for the even-partition scheme (Section 3.1)."""
+
+import pytest
+
+from repro.config import PartitionStrategy
+from repro.core.partition import (can_partition, minimum_partition_length,
+                                  partition, segment_layout, segment_lengths)
+from repro.exceptions import InvalidPartitionError, InvalidThresholdError
+
+
+class TestSegmentLengths:
+    def test_paper_example_vankatesh(self):
+        # |s| = 9, tau = 3: k = 1, so three segments of length 2 and one of 3.
+        assert segment_lengths(9, 3) == (2, 2, 2, 3)
+
+    def test_exact_division(self):
+        assert segment_lengths(12, 3) == (3, 3, 3, 3)
+
+    def test_remainder_goes_to_last_segments(self):
+        assert segment_lengths(10, 3) == (2, 2, 3, 3)
+        assert segment_lengths(11, 3) == (2, 3, 3, 3)
+
+    def test_lengths_sum_to_string_length(self):
+        for length in range(4, 60):
+            for tau in range(0, 4):
+                if length < tau + 1:
+                    continue
+                assert sum(segment_lengths(length, tau)) == length
+
+    def test_lengths_differ_by_at_most_one(self):
+        for length in range(5, 80):
+            for tau in range(0, 6):
+                if length < tau + 1:
+                    continue
+                lengths = segment_lengths(length, tau)
+                assert max(lengths) - min(lengths) <= 1
+
+    def test_tau_zero_single_segment(self):
+        assert segment_lengths(7, 0) == (7,)
+
+    def test_minimum_length_one_character_segments(self):
+        assert segment_lengths(4, 3) == (1, 1, 1, 1)
+
+    def test_too_short_raises(self):
+        with pytest.raises(InvalidPartitionError):
+            segment_lengths(3, 3)
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(InvalidThresholdError):
+            segment_lengths(10, -1)
+
+    def test_left_heavy_strategy(self):
+        assert segment_lengths(10, 3, PartitionStrategy.LEFT_HEAVY) == (1, 1, 1, 7)
+
+    def test_right_heavy_strategy(self):
+        assert segment_lengths(10, 3, PartitionStrategy.RIGHT_HEAVY) == (7, 1, 1, 1)
+
+
+class TestSegmentLayout:
+    def test_paper_example_layout(self):
+        # "vankatesh": segments va | nk | at | esh
+        assert segment_layout(9, 3) == ((0, 2), (2, 2), (4, 2), (6, 3))
+
+    def test_layout_is_contiguous_and_covers_string(self):
+        for length in range(5, 60):
+            for tau in range(0, 5):
+                if length < tau + 1:
+                    continue
+                layout = segment_layout(length, tau)
+                position = 0
+                for start, seg_len in layout:
+                    assert start == position
+                    position += seg_len
+                assert position == length
+
+    def test_layout_cached_instances_are_equal(self):
+        assert segment_layout(20, 2) is segment_layout(20, 2)
+
+
+class TestPartition:
+    def test_paper_example_vankatesh(self):
+        segments = partition("vankatesh", 3)
+        assert [segment.text for segment in segments] == ["va", "nk", "at", "esh"]
+        assert [segment.ordinal for segment in segments] == [1, 2, 3, 4]
+        assert [segment.start for segment in segments] == [0, 2, 4, 6]
+
+    def test_paper_example_kaushic_chaduri(self):
+        # Figure 1: "kaushic chaduri" -> kau | shic | _cha | duri
+        segments = partition("kaushic chaduri", 3)
+        assert [segment.text for segment in segments] == ["kau", "shic", " cha", "duri"]
+
+    def test_segments_reassemble_to_string(self):
+        text = "an arbitrary example string"
+        for tau in range(0, 6):
+            assert "".join(seg.text for seg in partition(text, tau)) == text
+
+    def test_number_of_segments_is_tau_plus_one(self):
+        for tau in range(0, 6):
+            assert len(partition("abcdefghij", tau)) == tau + 1
+
+    def test_partition_too_short_string_raises(self):
+        with pytest.raises(InvalidPartitionError):
+            partition("ab", 3)
+
+
+class TestHelpers:
+    def test_minimum_partition_length(self):
+        assert minimum_partition_length(0) == 1
+        assert minimum_partition_length(4) == 5
+
+    def test_can_partition(self):
+        assert can_partition(5, 4)
+        assert not can_partition(4, 4)

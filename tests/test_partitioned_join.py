@@ -1,0 +1,75 @@
+"""Tests for the bounded-memory partitioned self join."""
+
+import pytest
+
+from repro.exceptions import PassJoinError
+from repro.external import PartitionedSelfJoin, partitioned_self_join
+from repro.types import as_records
+from repro import pass_join
+
+from .conftest import brute_force_pairs, random_strings
+
+
+class TestPartitionedJoinCorrectness:
+    @pytest.mark.parametrize("partition_size", [1, 3, 10, 50, 1000])
+    def test_matches_in_memory_join(self, partition_size):
+        strings = random_strings(120, 2, 16, alphabet="abc", seed=71)
+        tau = 2
+        expected = pass_join(strings, tau).pair_ids()
+        result = partitioned_self_join(strings, tau, partition_size=partition_size)
+        assert result.pair_ids() == expected
+
+    def test_no_duplicate_pairs(self):
+        strings = random_strings(80, 3, 10, alphabet="ab", seed=72)
+        result = partitioned_self_join(strings, 2, partition_size=7)
+        ids = [pair.ids() for pair in result]
+        assert len(ids) == len(set(ids))
+
+    def test_distances_match_brute_force(self):
+        strings = random_strings(60, 3, 12, alphabet="abc", seed=73)
+        tau = 3
+        truth = brute_force_pairs(strings, tau)
+        result = partitioned_self_join(strings, tau, partition_size=9)
+        assert {pair.ids(): pair.distance for pair in result} == truth
+
+    def test_empty_and_tiny_inputs(self):
+        assert len(partitioned_self_join([], 2, partition_size=4)) == 0
+        assert len(partitioned_self_join(["solo"], 2, partition_size=4)) == 0
+
+    def test_multiprocessing_gives_same_answer(self):
+        strings = random_strings(100, 3, 14, alphabet="abc", seed=74)
+        tau = 2
+        expected = pass_join(strings, tau).pair_ids()
+        result = partitioned_self_join(strings, tau, partition_size=20, processes=2)
+        assert result.pair_ids() == expected
+
+
+class TestPartitionedJoinPlanning:
+    def test_plan_skips_incompatible_partitions(self):
+        # Three length clusters far apart: no cross-partition jobs needed.
+        strings = (["a" * 3] * 4) + (["b" * 30] * 4) + (["c" * 80] * 4)
+        join = PartitionedSelfJoin(tau=2, partition_size=4)
+        jobs = join.plan(as_records(strings))
+        assert jobs == [(0, 0), (1, 1), (2, 2)]
+
+    def test_plan_includes_adjacent_partitions_within_tau(self):
+        strings = ["x" * length for length in (5, 5, 6, 6, 7, 7)]
+        join = PartitionedSelfJoin(tau=1, partition_size=2)
+        jobs = join.plan(as_records(strings))
+        assert (0, 1) in jobs and (1, 2) in jobs
+        assert (0, 2) not in jobs  # lengths 5 and 7 are 2 apart > tau
+
+    def test_iter_pairs_is_lazy(self):
+        strings = random_strings(30, 3, 8, alphabet="ab", seed=75)
+        join = PartitionedSelfJoin(tau=1, partition_size=10)
+        iterator = join.iter_pairs(strings)
+        first = next(iterator, None)
+        # Either there is at least one pair (and we got it without consuming
+        # the whole input) or the collection truly has none.
+        assert first is None or first.left_id != first.right_id
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PassJoinError):
+            PartitionedSelfJoin(tau=1, partition_size=0)
+        with pytest.raises(PassJoinError):
+            PartitionedSelfJoin(tau=1, processes=0)

@@ -1,0 +1,72 @@
+"""Tests for the string-normalisation helpers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.preprocessing import (DEFAULT_NORMALIZATION, NormalizationConfig,
+                                 collapse_whitespace, normalization_map,
+                                 normalize, normalize_all, remove_punctuation,
+                                 strip_accents)
+
+
+class TestIndividualSteps:
+    def test_strip_accents(self):
+        assert strip_accents("Crème Brûlée") == "Creme Brulee"
+        assert strip_accents("naïve") == "naive"
+        assert strip_accents("plain") == "plain"
+
+    def test_collapse_whitespace(self):
+        assert collapse_whitespace("  a \t b\n\nc ") == "a b c"
+        assert collapse_whitespace("") == ""
+
+    def test_remove_punctuation(self):
+        assert remove_punctuation("li, g.; deng, d.") == "li g deng d"
+        assert remove_punctuation("no-punct here!") == "nopunct here"
+
+
+class TestNormalize:
+    def test_default_configuration(self):
+        assert normalize("  Guoliang   LI ") == "guoliang li"
+
+    def test_full_configuration(self):
+        config = NormalizationConfig(strip_accents=True, remove_punctuation=True)
+        assert normalize("  Jérôme, K.  LE-Grand ", config) == "jerome k legrand"
+
+    def test_disabled_steps_leave_text_unchanged(self):
+        config = NormalizationConfig(lowercase=False, collapse_whitespace=False)
+        assert normalize("  MiXeD  CaSe ", config) == "  MiXeD  CaSe "
+
+    def test_idempotent(self):
+        for text in ["  Foo  Bar ", "ALL CAPS", "already normal"]:
+            once = normalize(text)
+            assert normalize(once) == once
+
+    @given(text=st.text(max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_default_normalization_properties(self, text):
+        result = normalize(text)
+        assert result == result.casefold()
+        assert "  " not in result
+        assert result == result.strip()
+        assert normalize(result) == result  # idempotence
+
+
+class TestCollections:
+    def test_normalize_all_preserves_order(self):
+        assert normalize_all(["B ", " a"]) == ["b", "a"]
+
+    def test_normalization_map_groups_duplicates(self):
+        groups = normalization_map(["J Smith", "j  smith", "J. Smith", "K Jones"])
+        assert groups["j smith"] == ["J Smith", "j  smith"]
+        assert "j. smith" in groups  # punctuation kept by default config
+        assert groups["k jones"] == ["K Jones"]
+
+    def test_normalization_improves_join_recall(self):
+        from repro import pass_join
+
+        raw = ["Guoliang  Li", "guoliang li", "Dong Deng"]
+        assert len(pass_join(raw, 1)) == 0  # case + spacing hide the duplicate
+        assert len(pass_join(normalize_all(raw), 1)) == 1
+
+    def test_default_config_is_shared_instance(self):
+        assert DEFAULT_NORMALIZATION.lowercase
+        assert DEFAULT_NORMALIZATION.collapse_whitespace

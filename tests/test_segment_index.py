@@ -1,0 +1,123 @@
+"""Unit tests for the segment inverted indices (Section 3.2)."""
+
+from repro.config import PartitionStrategy
+from repro.core.index import SegmentIndex
+from repro.types import StringRecord
+
+
+def _record(identifier, text):
+    return StringRecord(id=identifier, text=text)
+
+
+class TestSegmentIndexBuilding:
+    def test_add_returns_segment_count(self):
+        index = SegmentIndex(tau=3)
+        assert index.add(_record(1, "vankatesh")) == 4
+
+    def test_short_string_is_not_indexed(self):
+        index = SegmentIndex(tau=3)
+        assert index.add(_record(1, "ab")) == 0
+        assert not index.has_length(2)
+
+    def test_add_all(self):
+        index = SegmentIndex(tau=1)
+        added = index.add_all([_record(0, "abcd"), _record(1, "wxyz"), _record(2, "a")])
+        assert added == 4  # two strings x two segments; "a" skipped
+
+    def test_lookup_finds_indexed_segment(self):
+        index = SegmentIndex(tau=3)
+        record = _record(1, "vankatesh")
+        index.add(record)
+        assert list(index.lookup(9, 1, "va")) == [record]
+        assert list(index.lookup(9, 4, "esh")) == [record]
+
+    def test_lookup_missing_returns_empty(self):
+        index = SegmentIndex(tau=2)
+        index.add(_record(1, "abcdef"))
+        assert list(index.lookup(6, 1, "zz")) == []
+        assert list(index.lookup(7, 1, "ab")) == []
+        assert list(index.lookup(6, 9, "ab")) == []
+
+    def test_inverted_list_preserves_insertion_order(self):
+        index = SegmentIndex(tau=1)
+        first = _record(1, "abcd")
+        second = _record(2, "abzz")
+        index.add(first)
+        index.add(second)
+        assert list(index.lookup(4, 1, "ab")) == [first, second]
+
+    def test_layout_matches_partition_module(self):
+        index = SegmentIndex(tau=3)
+        assert index.layout(9) == ((0, 2), (2, 2), (4, 2), (6, 3))
+
+    def test_partition_strategy_is_honoured(self):
+        index = SegmentIndex(tau=2, strategy=PartitionStrategy.LEFT_HEAVY)
+        index.add(_record(1, "abcdef"))
+        assert list(index.lookup(6, 3, "cdef")) == [_record(1, "abcdef")]
+
+
+class TestSegmentIndexLifecycle:
+    def test_indexed_lengths_sorted(self):
+        index = SegmentIndex(tau=1)
+        index.add(_record(0, "abcdef"))
+        index.add(_record(1, "ab"))
+        index.add(_record(2, "abcd"))
+        assert index.indexed_lengths() == [2, 4, 6]
+
+    def test_evict_below_removes_stale_lengths(self):
+        index = SegmentIndex(tau=1)
+        index.add(_record(0, "ab"))
+        index.add(_record(1, "abcd"))
+        index.add(_record(2, "abcdef"))
+        removed = index.evict_below(4)
+        assert removed == 1
+        assert not index.has_length(2)
+        assert index.has_length(4) and index.has_length(6)
+
+    def test_evict_updates_current_counters(self):
+        index = SegmentIndex(tau=1)
+        index.add(_record(0, "ab"))
+        index.add(_record(1, "abcdef"))
+        before = index.current_entry_count
+        index.evict_below(6)
+        assert index.current_entry_count < before
+        assert index.current_entry_count == index.entry_count()
+
+    def test_records_with_length(self):
+        index = SegmentIndex(tau=1)
+        index.add(_record(0, "abcd"))
+        index.add(_record(1, "wxyz"))
+        assert index.records_with_length(4) == 2
+        assert index.records_with_length(9) == 0
+
+
+class TestSegmentIndexAccounting:
+    def test_entry_count_matches_incremental_counter(self):
+        index = SegmentIndex(tau=2)
+        for i, text in enumerate(["abcdef", "abcxyz", "qwerty", "qwertz"]):
+            index.add(_record(i, text))
+        assert index.entry_count() == index.current_entry_count == 4 * 3
+        assert len(index) == 12
+
+    def test_segment_count_counts_all_added_segments(self):
+        index = SegmentIndex(tau=2)
+        index.add(_record(0, "abcdef"))
+        index.add(_record(1, "abcdefgh"))
+        index.evict_below(100)
+        assert index.segment_count == 6  # eviction does not reduce it
+
+    def test_approximate_bytes_positive_and_consistent(self):
+        index = SegmentIndex(tau=2)
+        index.add(_record(0, "abcdef"))
+        index.add(_record(1, "abcdeg"))
+        assert index.approximate_bytes() > 0
+        assert index.approximate_bytes() == index.current_approximate_bytes
+        assert index.deep_bytes() >= index.approximate_bytes()
+
+    def test_distinct_segment_count_deduplicates_shared_segments(self):
+        index = SegmentIndex(tau=1)
+        index.add(_record(0, "abcd"))
+        index.add(_record(1, "abcd"))
+        # Same segments twice: 2 distinct keys, 4 postings.
+        assert index.distinct_segment_count() == 2
+        assert index.entry_count() == 4
