@@ -1,0 +1,120 @@
+"""Parallel chunked engine — join time vs worker count (beyond the paper).
+
+The paper's system is single-threaded; this benchmark measures how the
+chunk-parallel driver scales.  Two entry points:
+
+* Under pytest-benchmark (the suite's idiom) it runs the ``parallel-scaling``
+  experiment at ``BENCH_SCALE`` and asserts result-set equality across
+  worker counts; the speedup assertion is gated on the CPUs actually
+  available, because a 4-worker run cannot beat serial on a 1-core box.
+* As a script it runs the acceptance-sized demonstration::
+
+      PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \\
+          --size 50000 --tau 1 --workers 1 2 4
+
+  which on a ≥4-core machine shows the >1.5x speedup at 4 workers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+try:  # absent when executed as a plain script (python benchmarks/bench_...py)
+    from .conftest import BENCH_SCALE, record_table
+except ImportError:  # pragma: no cover - script mode
+    BENCH_SCALE, record_table = 0.25, None
+
+from repro.bench.experiments import parallel_scaling
+from repro.bench.harness import available_cpus
+from repro.bench.reporting import format_table
+from repro.core.parallel import ParallelPassJoin, resolve_workers
+from repro.datasets.synthetic import generate_author_dataset
+
+
+def test_parallel_scaling(benchmark):
+    table = benchmark.pedantic(
+        lambda: parallel_scaling(scale=BENCH_SCALE, name="author", tau=2,
+                                 worker_counts=(1, 2, 4)),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    # Every worker count must find the exact same number of pairs.
+    assert len(set(table.column("results"))) == 1
+    if available_cpus() >= 4:
+        assert table.filter_rows(workers=4)[0]["speedup"] > 1.5
+
+
+def run_scaling_demo(size: int, tau: int, worker_counts: list[int],
+                     chunk_size: int | None = None, seed: int = 42) -> int:
+    """Generate ``size`` author strings, sweep worker counts, print the table.
+
+    Returns 0 when all worker counts found identical result sets (and, on
+    machines with >= max(worker_counts) CPUs, the largest count achieved a
+    >1.5x speedup); 1 otherwise.
+    """
+    from repro.bench.harness import Timer
+
+    strings = generate_author_dataset(size, seed=seed)
+    cpus = available_cpus()
+    print(f"self-joining {len(strings)} author strings at tau={tau} "
+          f"on {cpus} CPU(s)", file=sys.stderr)
+    # Measure the whole sweep first, then report: the speedup column is
+    # relative to the least-parallel run (by *effective* worker count,
+    # 0 = all CPUs), comparable across rows regardless of --workers order.
+    measured: list[tuple[int, int, float, int]] = []
+    results = set()
+    for workers in worker_counts:
+        engine = ParallelPassJoin(tau, workers=workers, chunk_size=chunk_size)
+        with Timer() as timer:
+            result = engine.self_join(strings)
+        print(f"measured workers={workers} in {timer.seconds:.3f}s",
+              file=sys.stderr)
+        measured.append((workers, resolve_workers(workers), timer.seconds,
+                         len(result)))
+        results.add(frozenset(result.pair_ids()))
+    baseline = min(measured, key=lambda row: row[1])
+    for workers, _, seconds, count in measured:
+        print(f"workers={workers:<3d} time={seconds:9.3f}s "
+              f"speedup={baseline[2] / max(seconds, 1e-9):5.2f}x "
+              f"results={count}")
+    if len(results) != 1:
+        print("FAIL: worker counts disagree on the result set", file=sys.stderr)
+        return 1
+    # The documented target is >1.5x at 4 workers; only enforce it when the
+    # sweep reaches 4+ effective workers AND the machine has the cores to
+    # deliver it (a 2-worker sweep needs >75% parallel efficiency for 1.5x,
+    # which fork/merge overhead makes an unfair bar).
+    top = max(measured, key=lambda row: row[1])
+    top_speedup = baseline[2] / max(top[2], 1e-9)
+    if top[1] >= 4 and cpus >= top[1] and top_speedup <= 1.5:
+        print(f"FAIL: {top[1]} workers on {cpus} CPUs only reached "
+              f"{top_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=50000,
+                        help="number of synthetic author strings (default 50000)")
+    parser.add_argument("--tau", type=int, default=1,
+                        help="edit-distance threshold (default 1)")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker counts to sweep (default 1 2 4)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="probe strings per chunk (default: auto)")
+    parser.add_argument("--table", action="store_true",
+                        help="also print the ExperimentTable form (uses the "
+                             "scaled experiment datasets, not --size)")
+    args = parser.parse_args(argv)
+    if args.table:
+        table = parallel_scaling(scale=1.0, tau=args.tau,
+                                 worker_counts=tuple(args.workers),
+                                 chunk_size=args.chunk_size)
+        print(format_table(table))
+    return run_scaling_demo(args.size, args.tau, args.workers,
+                            chunk_size=args.chunk_size)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Guard: the whole test suite must collect cleanly.
+
+The seed repository shipped with a test module whose import failed, so
+``pytest -x`` died at collection and *no* change was verifiable.  This guard
+runs ``pytest --collect-only`` with the canonical ``PYTHONPATH`` and fails
+loudly if any module cannot even be imported — CI runs it before the real
+test step so import-time breakage can never land silently again.
+
+Usage::
+
+    python scripts/check_collect.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q",
+         "-p", "no:cacheprovider"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    tail = "\n".join(proc.stdout.strip().splitlines()[-10:])
+    if proc.returncode != 0:
+        print(tail)
+        print(proc.stderr.strip()[-2000:], file=sys.stderr)
+        print("FAIL: test collection is broken (see errors above)",
+              file=sys.stderr)
+        return 1
+    match = re.search(r"(\d+) tests? collected", proc.stdout)
+    collected = int(match.group(1)) if match else 0
+    if collected == 0:
+        print(tail)
+        print("FAIL: zero tests collected", file=sys.stderr)
+        return 1
+    print(f"OK: {collected} tests collected cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,20 @@ Quick start
 >>> sorted((p.left, p.right) for p in result)
 [('sigmod', 'sigmmod'), ('vldb', 'pvldb')]
 
+On large collections, fan the probe phase out over CPU cores — the result
+set is identical to the serial join:
+
+>>> import repro
+>>> result = repro.join(["vldb", "pvldb", "sigmod", "sigmmod"], tau=1,
+...                     workers=2)
+>>> sorted((p.left, p.right) for p in result)
+[('sigmod', 'sigmmod'), ('vldb', 'pvldb')]
+
 The top-level package re-exports the public API:
 
+* :func:`join` — one-call serial/parallel join (``workers=N``).
 * :func:`pass_join` / :func:`pass_join_rs` / :class:`PassJoin` — the join.
+* :class:`ParallelPassJoin` — the chunk-parallel driver behind :func:`join`.
 * :func:`edit_distance` and the bounded kernels — the distance substrate.
 * :class:`JoinConfig` and the method enums — configuration.
 * :mod:`repro.baselines` — ED-Join, Trie-Join, All-Pairs-Ed, naive join.
@@ -25,6 +36,8 @@ from .config import (DEFAULT_CONFIG, JoinConfig, PartitionStrategy,
                      SelectionMethod, VerificationMethod)
 from .core.index import SegmentIndex
 from .core.join import PassJoin, pass_join, pass_join_pairs, pass_join_rs
+from .core.parallel import (ParallelPassJoin, available_workers, join,
+                            parallel_self_join)
 from .core.partition import partition, segment_layout
 from .core.selection import make_selector
 from .core.verify import make_verifier
@@ -44,7 +57,11 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # join
+    "join",
     "PassJoin",
+    "ParallelPassJoin",
+    "parallel_self_join",
+    "available_workers",
     "pass_join",
     "pass_join_pairs",
     "pass_join_rs",

@@ -37,11 +37,12 @@ from ..baselines.trie_join import TrieJoin
 from ..config import (JoinConfig, PartitionStrategy, SelectionMethod,
                       VerificationMethod)
 from ..core.join import PassJoin
+from ..core.parallel import ParallelPassJoin, resolve_workers
 from ..datasets.stats import dataset_statistics, length_histogram
 from ..datasets.synthetic import (generate_author_dataset,
                                   generate_querylog_dataset,
                                   generate_title_dataset)
-from .harness import ExperimentTable, Timer, scaled
+from .harness import ExperimentTable, Timer, available_cpus, scaled
 
 # ----------------------------------------------------------------------
 # Workloads
@@ -320,6 +321,51 @@ def table3_index_sizes(scale: float = 1.0,
 
 
 # ----------------------------------------------------------------------
+# Parallel scaling (beyond the paper — the paper's system is single-threaded)
+# ----------------------------------------------------------------------
+def parallel_scaling(scale: float = 1.0, name: str = "author", tau: int = 2,
+                     worker_counts: Sequence[int] = (1, 2, 4),
+                     chunk_size: int | None = None,
+                     backend: str = "auto") -> ExperimentTable:
+    """Elapsed time of the chunk-parallel engine as workers grow.
+
+    ``workers=1`` is the serial :class:`~repro.core.join.PassJoin`; every
+    other row runs :class:`~repro.core.parallel.ParallelPassJoin` and must
+    report the same result count (the harness records it per row so
+    benchmark assertions can check it).  ``speedup`` is serial time over the
+    row's time; the table notes record the measured CPU budget, since
+    speedups are bounded by the cores actually available.
+    """
+    strings = build_datasets(scale, [name])[name]
+    measured: list[tuple[int, str, float, int]] = []
+    for workers in worker_counts:
+        engine = ParallelPassJoin(tau, workers=workers, chunk_size=chunk_size,
+                                  backend=backend)
+        with Timer() as timer:
+            result = engine.self_join(strings)
+        measured.append((workers, "serial" if workers == 1 else engine.backend,
+                         timer.seconds, len(result)))
+    # Baseline = the run with the fewest *effective* workers (0 = all CPUs,
+    # so it never qualifies as the baseline on a multi-core machine).
+    baseline_row = min(measured, key=lambda row: resolve_workers(row[0]))
+    table = ExperimentTable(
+        key="parallel-scaling",
+        title="Parallel chunked join: scaling with worker count",
+        columns=["dataset", "tau", "workers", "backend", "total_seconds",
+                 "speedup", "results"],
+        notes=f"{available_cpus()} CPU(s) available; speedup is relative to "
+              f"the workers={baseline_row[0]} run; " + _SCALE_NOTE,
+    )
+    for workers, backend_used, seconds, results in measured:
+        table.add_row(dataset=name, tau=tau, workers=workers,
+                      backend=backend_used,
+                      total_seconds=round(seconds, 6),
+                      speedup=round(baseline_row[2] / max(seconds, 1e-9), 3),
+                      results=results)
+    return table
+
+
+# ----------------------------------------------------------------------
 # Ablations (beyond the paper's figures)
 # ----------------------------------------------------------------------
 def ablation_partition_strategies(scale: float = 1.0, name: str = "author",
@@ -405,6 +451,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "figure14": fig14_verification,
     "figure15": fig15_comparison,
     "figure16": fig16_scalability,
+    "parallel-scaling": parallel_scaling,
     "ablation-partition": ablation_partition_strategies,
     "ablation-verifier": ablation_verifier_kernels,
     "ablation-filter-quality": ablation_filter_quality,

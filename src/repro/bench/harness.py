@@ -96,6 +96,18 @@ def scaled(sizes: Mapping[str, int], scale: float) -> dict[str, int]:
     return {name: max(50, int(size * scale)) for name, size in sizes.items()}
 
 
+def available_cpus() -> int:
+    """CPUs this process may use — the honest upper bound on parallel speedup.
+
+    Scaling experiments record this next to their measurements: a 4-worker
+    run on a single-core container *cannot* beat serial, and asserting that
+    it does would make the benchmark suite flaky across machines.
+    """
+    from ..core.parallel import available_workers
+
+    return available_workers()
+
+
 def geometric_speedup(times: Sequence[float], baseline: Sequence[float]) -> float:
     """Geometric-mean speedup of ``times`` over ``baseline`` (for summaries)."""
     if len(times) != len(baseline) or not times:

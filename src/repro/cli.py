@@ -3,6 +3,7 @@
 Four subcommands cover the day-to-day uses of the library::
 
     passjoin join FILE --tau 2                 # self-join a file of strings
+    passjoin join FILE --tau 2 --workers 4     # ... on 4 cores (0 = all)
     passjoin join LEFT --right RIGHT --tau 2   # join two files
     passjoin generate author out.txt --size 10000
     passjoin stats FILE                        # Table-2-style statistics
@@ -26,6 +27,7 @@ from .bench.experiments import DATASET_BUILDERS, EXPERIMENTS
 from .bench.reporting import format_table
 from .config import JoinConfig, SelectionMethod, VerificationMethod
 from .core.join import PassJoin
+from .core.parallel import ParallelPassJoin
 from .datasets.loaders import load_strings, save_strings
 from .datasets.stats import dataset_statistics
 from .exceptions import PassJoinError
@@ -52,6 +54,11 @@ def _build_parser() -> argparse.ArgumentParser:
     join.add_argument("--verification", default=VerificationMethod.SHARE_PREFIX.value,
                       choices=[m.value for m in VerificationMethod],
                       help="Pass-Join verification strategy")
+    join.add_argument("--workers", type=int, default=1,
+                      help="parallel probe workers for pass-join "
+                           "(1 = serial, 0 = one per CPU; default 1)")
+    join.add_argument("--chunk-size", type=int, default=None,
+                      help="probe strings per parallel chunk (default: auto)")
     join.add_argument("--limit", type=int, help="read at most this many strings per file")
     join.add_argument("--quiet", action="store_true",
                       help="print only the summary, not the pairs")
@@ -80,7 +87,11 @@ def _build_parser() -> argparse.ArgumentParser:
 def _make_join_algorithm(args: argparse.Namespace):
     if args.algorithm == "pass-join":
         config = JoinConfig.from_names(selection=args.selection,
-                                       verification=args.verification)
+                                       verification=args.verification,
+                                       workers=args.workers,
+                                       chunk_size=args.chunk_size)
+        if config.workers != 1:
+            return ParallelPassJoin(args.tau, config)
         return PassJoin(args.tau, config)
     if args.algorithm == "ed-join":
         return EdJoin(args.tau)
@@ -90,6 +101,11 @@ def _make_join_algorithm(args: argparse.Namespace):
 
 
 def _command_join(args: argparse.Namespace) -> int:
+    if args.algorithm != "pass-join" and (args.workers != 1
+                                          or args.chunk_size is not None):
+        print("--workers/--chunk-size are only supported by the pass-join "
+              "algorithm", file=sys.stderr)
+        return 2
     left = load_strings(args.left, limit=args.limit)
     algorithm = _make_join_algorithm(args)
     if args.right:

@@ -92,7 +92,8 @@ def validate_threshold(tau: int) -> int:
 
 @dataclass(frozen=True, slots=True)
 class JoinConfig:
-    """Tuning knobs for :class:`repro.core.join.PassJoin`.
+    """Tuning knobs for :class:`repro.core.join.PassJoin` and the parallel
+    driver :class:`repro.core.parallel.ParallelPassJoin`.
 
     Parameters
     ----------
@@ -104,11 +105,21 @@ class JoinConfig:
         paper's fastest).
     partition:
         Partition strategy for indexed strings (default: even).
+    workers:
+        Number of parallel probe workers.  ``1`` (default) runs the serial
+        driver; ``0`` means "one per available CPU"; larger values fan probe
+        chunks out over worker processes (or threads, where ``fork`` is
+        unavailable).
+    chunk_size:
+        Number of probe strings per parallel chunk; ``None`` (default) picks
+        a size that gives each worker several chunks.
     """
 
     selection: SelectionMethod = SelectionMethod.MULTI_MATCH
     verification: VerificationMethod = VerificationMethod.SHARE_PREFIX
     partition: PartitionStrategy = PartitionStrategy.EVEN
+    workers: int = 1
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.selection, SelectionMethod):
@@ -123,17 +134,32 @@ class JoinConfig:
             object.__setattr__(
                 self, "partition", PartitionStrategy(str(self.partition))
             )
+        if (isinstance(self.workers, bool) or not isinstance(self.workers, int)
+                or self.workers < 0):
+            raise ConfigurationError(
+                f"workers must be a non-negative integer (0 = all CPUs), "
+                f"got {self.workers!r}")
+        if self.chunk_size is not None and (
+                isinstance(self.chunk_size, bool)
+                or not isinstance(self.chunk_size, int)
+                or self.chunk_size < 1):
+            raise ConfigurationError(
+                f"chunk_size must be a positive integer or None, "
+                f"got {self.chunk_size!r}")
 
     @classmethod
     def from_names(cls, selection: str = "multi-match",
                    verification: str = "share-prefix",
-                   partition: str = "even") -> "JoinConfig":
+                   partition: str = "even", workers: int = 1,
+                   chunk_size: int | None = None) -> "JoinConfig":
         """Build a config from plain strings, with a friendly error message."""
         try:
             return cls(
                 selection=SelectionMethod(selection),
                 verification=VerificationMethod(verification),
                 partition=PartitionStrategy(partition),
+                workers=workers,
+                chunk_size=chunk_size,
             )
         except ValueError as exc:
             raise ConfigurationError(str(exc)) from exc

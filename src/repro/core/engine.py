@@ -1,0 +1,149 @@
+"""Shared filter-and-verify probe engine.
+
+The heart of Pass-Join — "given one probe string, find every similar string
+in a segment index" — is needed by two drivers with different index
+lifecycles:
+
+* :class:`~repro.core.join.PassJoin` builds the index *incrementally* while
+  it sweeps the sorted input (self join) or once up front (R-S join), and
+  probes on the same thread.
+* :class:`~repro.core.parallel.ParallelPassJoin` builds one *static* index
+  over the whole collection and fans probe chunks out to workers.
+
+This module holds the logic both share: the canonical record ordering, the
+static index builder, and :func:`probe_record`, the per-probe
+select → lookup → verify pipeline.  The optional ``accept`` predicate lets
+the parallel self join reproduce the serial driver's "only already-visited
+strings are indexed" invariant on a full static index: a worker probing the
+record at sort position ``p`` accepts only partners at positions ``< p``,
+which yields exactly the serial result set with no cross-chunk
+deduplication.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from ..config import PartitionStrategy
+from ..distance.banded import length_aware_edit_distance
+from ..types import JoinStatistics, StringRecord
+from .index import SegmentIndex
+from .partition import can_partition
+from .selection import SubstringSelector
+from .verify import BaseVerifier, MatchContext
+
+
+def sort_key(record: StringRecord) -> tuple[int, str]:
+    """Canonical (length, text) ordering used by every Pass-Join driver."""
+    return (record.length, record.text)
+
+
+def sort_records(records: Sequence[StringRecord]) -> list[StringRecord]:
+    """Return records in canonical order (stable, so ties keep input order)."""
+    return sorted(records, key=sort_key)
+
+
+def build_static_index(ordered: Sequence[StringRecord], tau: int,
+                       strategy: PartitionStrategy,
+                       ) -> tuple[SegmentIndex, list[StringRecord]]:
+    """Index every partitionable record; pool the rest.
+
+    ``ordered`` must already be in canonical order — insertion order is what
+    keeps every inverted list sorted by the indexed string, the property the
+    shared-prefix verifier exploits.  Returns the index and the side pool of
+    strings too short to partition into ``tau + 1`` non-empty segments.
+    """
+    index = SegmentIndex(tau, strategy)
+    short_pool: list[StringRecord] = []
+    for record in ordered:
+        if can_partition(record.length, tau):
+            index.add(record)
+        else:
+            short_pool.append(record)
+    return index, short_pool
+
+
+def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
+                 short_pool: Sequence[StringRecord],
+                 selector: SubstringSelector, verifier: BaseVerifier,
+                 stats: JoinStatistics, max_length: int,
+                 allow_same_id: bool = False,
+                 accept: Callable[[StringRecord], bool] | None = None,
+                 ) -> list[tuple[StringRecord, int]]:
+    """Find indexed (and short-pool) strings similar to ``probe``.
+
+    ``max_length`` bounds the indexed lengths probed: ``|probe|`` for the
+    self join (a partner longer than the probe sorts after it) and
+    ``|probe| + τ`` for the R-S join.  ``accept`` optionally restricts which
+    indexed records may partner the probe; records it rejects are skipped
+    before candidate counting and verification, exactly as if they were not
+    indexed at all.
+    """
+    found: dict[int, int] = {}
+    checked: set[int] = set()
+    min_length = probe.length - tau
+
+    # Strings too short to partition are verified directly.
+    for record in short_pool:
+        if record.id == probe.id and not allow_same_id:
+            continue
+        if accept is not None and not accept(record):
+            continue
+        if abs(record.length - probe.length) > tau:
+            continue
+        verification_started = time.perf_counter()
+        stats.num_verifications += 1
+        distance = length_aware_edit_distance(record.text, probe.text, tau, stats)
+        stats.verification_seconds += time.perf_counter() - verification_started
+        if distance <= tau:
+            found[record.id] = distance
+    matches: list[tuple[StringRecord, int]] = [
+        (record, found[record.id]) for record in short_pool
+        if record.id in found
+    ]
+
+    skip_rechecks = verifier.exact_per_pair
+    for length in range(max(min_length, 0), max_length + 1):
+        if not index.has_length(length):
+            continue
+        layout = index.layout(length)
+
+        selection_started = time.perf_counter()
+        selections = selector.select(probe.text, length, layout)
+        stats.selection_seconds += time.perf_counter() - selection_started
+        stats.num_selected_substrings += len(selections)
+
+        for selection in selections:
+            stats.num_index_probes += 1
+            postings = index.lookup(length, selection.ordinal, selection.text)
+            if not postings:
+                continue
+            candidates = []
+            for record in postings:
+                if record.id == probe.id and not allow_same_id:
+                    continue
+                if accept is not None and not accept(record):
+                    continue
+                if record.id in found:
+                    continue
+                if skip_rechecks and record.id in checked:
+                    continue
+                candidates.append(record)
+            if not candidates:
+                continue
+            stats.num_candidates += len(candidates)
+            context = MatchContext(ordinal=selection.ordinal,
+                                   probe_start=selection.start,
+                                   seg_start=selection.seg_start,
+                                   seg_length=selection.seg_length)
+            verification_started = time.perf_counter()
+            accepted = verifier.verify_candidates(probe.text, candidates, context)
+            stats.verification_seconds += time.perf_counter() - verification_started
+            if skip_rechecks:
+                checked.update(record.id for record in candidates)
+            for record, distance in accepted:
+                if record.id not in found:
+                    found[record.id] = distance
+                    matches.append((record, distance))
+    return matches

@@ -28,17 +28,13 @@ import time
 from typing import Iterable, Sequence
 
 from ..config import DEFAULT_CONFIG, JoinConfig, validate_threshold
-from ..distance.banded import length_aware_edit_distance
 from ..types import (JoinResult, JoinStatistics, SimilarPair, StringRecord,
                      as_records, normalise_pair)
+from .engine import probe_record, sort_key as _sort_key
 from .index import SegmentIndex
 from .partition import can_partition
 from .selection import SubstringSelector, make_selector
-from .verify import BaseVerifier, MatchContext, make_verifier
-
-
-def _sort_key(record: StringRecord) -> tuple[int, str]:
-    return (record.length, record.text)
+from .verify import BaseVerifier, make_verifier
 
 
 class PassJoin:
@@ -167,72 +163,14 @@ class PassJoin:
 
         ``max_length`` bounds the indexed lengths probed: ``|probe|`` for the
         self join (longer strings are not indexed yet) and ``|probe| + τ``
-        for the R–S join.
+        for the R–S join.  The actual pipeline lives in
+        :func:`repro.core.engine.probe_record`, shared with the parallel
+        driver.
         """
-        tau = self.tau
-        found: dict[int, int] = {}
-        checked: set[int] = set()
-        min_length = probe.length - tau
-
-        # Strings too short to partition are verified directly.
-        for record in short_pool:
-            if record.id == probe.id and not allow_same_id:
-                continue
-            if abs(record.length - probe.length) > tau:
-                continue
-            verification_started = time.perf_counter()
-            stats.num_verifications += 1
-            distance = length_aware_edit_distance(record.text, probe.text, tau, stats)
-            stats.verification_seconds += time.perf_counter() - verification_started
-            if distance <= tau:
-                found[record.id] = distance
-        matches: list[tuple[StringRecord, int]] = [
-            (record, found[record.id]) for record in short_pool
-            if record.id in found
-        ]
-
-        skip_rechecks = verifier.exact_per_pair
-        for length in range(max(min_length, 0), max_length + 1):
-            if not index.has_length(length):
-                continue
-            layout = index.layout(length)
-
-            selection_started = time.perf_counter()
-            selections = selector.select(probe.text, length, layout)
-            stats.selection_seconds += time.perf_counter() - selection_started
-            stats.num_selected_substrings += len(selections)
-
-            for selection in selections:
-                stats.num_index_probes += 1
-                postings = index.lookup(length, selection.ordinal, selection.text)
-                if not postings:
-                    continue
-                candidates = []
-                for record in postings:
-                    if record.id == probe.id and not allow_same_id:
-                        continue
-                    if record.id in found:
-                        continue
-                    if skip_rechecks and record.id in checked:
-                        continue
-                    candidates.append(record)
-                if not candidates:
-                    continue
-                stats.num_candidates += len(candidates)
-                context = MatchContext(ordinal=selection.ordinal,
-                                       probe_start=selection.start,
-                                       seg_start=selection.seg_start,
-                                       seg_length=selection.seg_length)
-                verification_started = time.perf_counter()
-                accepted = verifier.verify_candidates(probe.text, candidates, context)
-                stats.verification_seconds += time.perf_counter() - verification_started
-                if skip_rechecks:
-                    checked.update(record.id for record in candidates)
-                for record, distance in accepted:
-                    if record.id not in found:
-                        found[record.id] = distance
-                        matches.append((record, distance))
-        return matches
+        return probe_record(probe, tau=self.tau, index=index,
+                            short_pool=short_pool, selector=selector,
+                            verifier=verifier, stats=stats,
+                            max_length=max_length, allow_same_id=allow_same_id)
 
 
 # ----------------------------------------------------------------------

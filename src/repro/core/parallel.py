@@ -1,0 +1,352 @@
+"""Parallel chunked Pass-Join driver.
+
+The serial :class:`~repro.core.join.PassJoin` interleaves indexing and
+probing, which is cache-friendly but inherently sequential.  This module
+trades the sliding index window for parallelism:
+
+1. Sort the records in canonical (length, text) order and build **one**
+   read-only :class:`~repro.core.index.SegmentIndex` over the whole indexed
+   side (plus the side pool of strings too short to partition).
+2. Split the probe sequence into length-contiguous chunks.
+3. Fan the chunks out over workers.  Each worker runs the shared
+   :func:`~repro.core.engine.probe_record` pipeline with its own selector,
+   verifier, and statistics; for a self join it only accepts partners at
+   earlier sort positions, so every unordered pair is emitted by exactly
+   one probe and no cross-chunk deduplication is needed.
+4. Concatenate the per-chunk pair lists (chunks are ordered, so the result
+   order matches the serial driver's) and merge the per-chunk
+   :class:`~repro.types.JoinStatistics`.
+
+Workers default to ``fork`` processes where the platform offers them — the
+index is built once in the parent and shared copy-on-write, so nothing
+large is pickled — and fall back to threads elsewhere.  ``workers=1``
+delegates to :class:`PassJoin` outright, so serial behaviour is *identical*
+by construction, and any number of workers returns the exact same pair set
+(the property-based tests compare against both the serial driver and the
+brute-force oracle).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..config import DEFAULT_CONFIG, JoinConfig, validate_threshold
+from ..exceptions import ConfigurationError
+from ..types import (JoinResult, JoinStatistics, SimilarPair, StringRecord,
+                     as_records, normalise_pair)
+from .engine import build_static_index, probe_record, sort_records
+from .index import SegmentIndex
+from .join import PassJoin
+from .selection import make_selector
+from .verify import make_verifier
+
+#: Executor kinds accepted by :class:`ParallelPassJoin`.
+BACKENDS = ("auto", "process", "thread")
+
+
+def available_workers() -> int:
+    """Number of CPUs this process may use (the ``workers=0`` resolution)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int) -> int:
+    """Map the ``workers`` knob to an actual worker count (0 = all CPUs)."""
+    if workers == 0:
+        return available_workers()
+    return workers
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve ``auto`` to ``process`` where ``fork`` exists, else ``thread``.
+
+    Only ``fork`` qualifies for the process backend: with ``spawn`` or
+    ``forkserver`` the read-only index would have to be pickled to every
+    worker, which costs more than it saves for all but enormous inputs.
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}")
+    fork_available = "fork" in multiprocessing.get_all_start_methods()
+    if backend == "process" and not fork_available:
+        raise ConfigurationError(
+            "backend 'process' requires the fork start method, which this "
+            "platform does not provide; use backend='thread' or 'auto'")
+    if backend != "auto":
+        return backend
+    return "process" if fork_available else "thread"
+
+
+def default_chunk_size(total: int, workers: int) -> int:
+    """Pick a chunk size giving each worker ~4 chunks (bounded for balance).
+
+    Several chunks per worker smooths out skew — probe cost grows with
+    string length, and chunks are length-contiguous — while the upper bound
+    keeps a single straggler chunk from serialising the tail of the run.
+    """
+    if total <= 0:
+        return 1
+    return max(1, min(4096, math.ceil(total / (workers * 4))))
+
+
+def chunk_spans(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into consecutive [start, stop) spans."""
+    return [(start, min(start + chunk_size, total))
+            for start in range(0, total, chunk_size)]
+
+
+@dataclass(slots=True)
+class _SharedJoin:
+    """Everything a probe worker needs, shared read-only across chunks."""
+
+    tau: int
+    config: JoinConfig
+    ordered: list[StringRecord]        # probe records in canonical order
+    index: SegmentIndex
+    short_pool: list[StringRecord]
+    self_mode: bool
+    positions: dict[int, int] | None   # record id -> sort position (self join)
+
+
+#: Module-level slot read by workers.  ``fork`` children inherit it at pool
+#: creation; threads read it directly.  Set only for the duration of one
+#: parallel run (concurrent runs in one process must use ``workers=1``).
+_STATE: _SharedJoin | None = None
+
+
+def _probe_span(span: tuple[int, int]) -> tuple[list[SimilarPair], JoinStatistics]:
+    """Probe one chunk of the shared ordered records; return pairs + stats."""
+    state = _STATE
+    assert state is not None, "worker started without shared join state"
+    tau = state.tau
+    stats = JoinStatistics()
+    selector = make_selector(state.config.selection, tau)
+    verifier = make_verifier(state.config.verification, tau, stats)
+    pairs: list[SimilarPair] = []
+    start, stop = span
+    if state.self_mode:
+        positions = state.positions
+        assert positions is not None
+        for pos in range(start, stop):
+            probe = state.ordered[pos]
+            matches = probe_record(
+                probe, tau=tau, index=state.index, short_pool=state.short_pool,
+                selector=selector, verifier=verifier, stats=stats,
+                max_length=probe.length,
+                accept=lambda record, limit=pos: positions[record.id] < limit)
+            for partner, distance in matches:
+                pairs.append(normalise_pair(probe.id, partner.id, distance,
+                                            probe.text, partner.text))
+    else:
+        for pos in range(start, stop):
+            probe = state.ordered[pos]
+            matches = probe_record(
+                probe, tau=tau, index=state.index, short_pool=state.short_pool,
+                selector=selector, verifier=verifier, stats=stats,
+                max_length=probe.length + tau, allow_same_id=True)
+            for partner, distance in matches:
+                pairs.append(SimilarPair(left_id=probe.id, right_id=partner.id,
+                                         distance=distance, left=probe.text,
+                                         right=partner.text))
+    return pairs, stats
+
+
+class ParallelPassJoin:
+    """Chunk-parallel Pass-Join with the exact result set of the serial driver.
+
+    Parameters
+    ----------
+    tau:
+        Edit-distance threshold.
+    config:
+        Optional :class:`~repro.config.JoinConfig`; its ``workers`` and
+        ``chunk_size`` fields are the defaults for the keyword arguments.
+    workers:
+        Worker count override (``0`` = one per CPU, ``1`` = serial
+        :class:`PassJoin`, ``None`` = take from ``config``).
+    chunk_size:
+        Probe strings per chunk override (``None`` = take from ``config``,
+        falling back to an automatic size).
+    backend:
+        ``"process"`` (fork-based pool), ``"thread"``, or ``"auto"``.
+        ``auto`` resolves to ``process`` where ``fork`` exists; on
+        platforms without ``fork`` it falls back to the *serial* driver,
+        because GIL-bound threads only add overhead to this CPU-bound
+        workload — ``thread`` remains an explicit opt-in (it is how the
+        exactness tests exercise chunking without pool startup costs).
+
+    Examples
+    --------
+    >>> join = ParallelPassJoin(tau=1, workers=2)
+    >>> sorted(join.self_join(["vldb", "pvldb", "icde"]).pair_ids())
+    [(0, 1)]
+    """
+
+    def __init__(self, tau: int, config: JoinConfig | None = None, *,
+                 workers: int | None = None, chunk_size: int | None = None,
+                 backend: str = "auto") -> None:
+        self.tau = validate_threshold(tau)
+        base = config if config is not None else DEFAULT_CONFIG
+        overrides: dict[str, object] = {}
+        if workers is not None:
+            overrides["workers"] = workers
+        if chunk_size is not None:
+            overrides["chunk_size"] = chunk_size
+        self.config = replace(base, **overrides) if overrides else base
+        self.backend = resolve_backend(backend)
+        # auto on a fork-less platform: prefer exact serial over GIL-bound
+        # threads that can only be slower on this CPU-bound workload.
+        self._serial_fallback = (backend == "auto" and self.backend == "thread")
+        if self._serial_fallback:
+            self.backend = "serial"
+            if self.config.workers != 1:
+                warnings.warn(
+                    "fork is unavailable on this platform; workers="
+                    f"{self.config.workers} will run the serial driver "
+                    "(pass backend='thread' to force a thread pool)",
+                    RuntimeWarning, stacklevel=2)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def self_join(self, strings: Iterable[str | StringRecord]) -> JoinResult:
+        """Find every pair of strings within the threshold in one collection."""
+        records = as_records(strings)
+        workers = resolve_workers(self.config.workers)
+        if workers == 1 or self._serial_fallback:
+            return PassJoin(self.tau, self.config).self_join(records)
+        started = time.perf_counter()
+        ordered = sort_records(records)
+        stats = JoinStatistics(num_strings=len(records))
+        index, short_pool = self._build_index(ordered, stats)
+        positions = {record.id: pos for pos, record in enumerate(ordered)}
+        state = _SharedJoin(tau=self.tau, config=self.config, ordered=ordered,
+                            index=index, short_pool=short_pool, self_mode=True,
+                            positions=positions)
+        pairs = self._run(state, workers, stats)
+        stats.num_results = len(pairs)
+        stats.total_seconds = time.perf_counter() - started
+        return JoinResult(pairs=pairs, statistics=stats)
+
+    def join(self, left: Iterable[str | StringRecord],
+             right: Iterable[str | StringRecord]) -> JoinResult:
+        """Find every pair ``(r ∈ left, s ∈ right)`` within the threshold."""
+        left_records = as_records(left)
+        right_records = as_records(right)
+        workers = resolve_workers(self.config.workers)
+        if workers == 1 or self._serial_fallback:
+            return PassJoin(self.tau, self.config).join(left_records,
+                                                        right_records)
+        started = time.perf_counter()
+        ordered = sort_records(left_records)
+        stats = JoinStatistics(
+            num_strings=len(left_records) + len(right_records))
+        index, short_pool = self._build_index(sort_records(right_records), stats)
+        state = _SharedJoin(tau=self.tau, config=self.config, ordered=ordered,
+                            index=index, short_pool=short_pool,
+                            self_mode=False, positions=None)
+        pairs = self._run(state, workers, stats)
+        stats.num_results = len(pairs)
+        stats.total_seconds = time.perf_counter() - started
+        return JoinResult(pairs=pairs, statistics=stats)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_index(self, ordered: Sequence[StringRecord],
+                     stats: JoinStatistics,
+                     ) -> tuple[SegmentIndex, list[StringRecord]]:
+        indexing_started = time.perf_counter()
+        index, short_pool = build_static_index(ordered, self.tau,
+                                               self.config.partition)
+        stats.indexing_seconds = time.perf_counter() - indexing_started
+        stats.num_indexed_segments = index.segment_count
+        stats.index_entries = index.current_entry_count
+        stats.index_bytes = index.current_approximate_bytes
+        return index, short_pool
+
+    def _run(self, state: _SharedJoin, workers: int,
+             stats: JoinStatistics) -> list[SimilarPair]:
+        total = len(state.ordered)
+        if total == 0:
+            return []
+        chunk_size = self.config.chunk_size
+        if chunk_size is None:
+            chunk_size = default_chunk_size(total, workers)
+        spans = chunk_spans(total, chunk_size)
+
+        global _STATE
+        if _STATE is not None:
+            raise RuntimeError(
+                "another ParallelPassJoin run is already active in this "
+                "process; concurrent parallel joins share a single state "
+                "slot — serialise them or use workers=1")
+        _STATE = state
+        try:
+            if self.backend == "process" and len(spans) > 1:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(processes=min(workers, len(spans))) as pool:
+                    chunk_results = pool.map(_probe_span, spans)
+            elif len(spans) > 1:
+                with ThreadPoolExecutor(max_workers=workers) as executor:
+                    chunk_results = list(executor.map(_probe_span, spans))
+            else:
+                chunk_results = [_probe_span(spans[0])]
+        finally:
+            _STATE = None
+
+        # Sum every worker-side counter; the fields the parent owns (sizes,
+        # index accounting, wall clock) are set by the driver, never by a
+        # chunk, so a blanket add keeps future probe counters flowing
+        # through without touching this list.
+        parent_fields = ("num_strings", "num_results", "num_indexed_segments",
+                         "index_entries", "index_bytes", "indexing_seconds",
+                         "total_seconds")
+        pairs: list[SimilarPair] = []
+        for chunk_pairs, chunk_stats in chunk_results:
+            pairs.extend(chunk_pairs)
+            for name in JoinStatistics.__dataclass_fields__:
+                if name not in parent_fields:
+                    setattr(stats, name,
+                            getattr(stats, name) + getattr(chunk_stats, name))
+        return pairs
+
+
+# ----------------------------------------------------------------------
+# Convenience functions
+# ----------------------------------------------------------------------
+def join(strings: Iterable[str | StringRecord], tau: int,
+         right: Iterable[str | StringRecord] | None = None, *,
+         workers: int | None = None, chunk_size: int | None = None,
+         backend: str = "auto", config: JoinConfig | None = None) -> JoinResult:
+    """One-call similarity join: self join, or R-S join when ``right`` given.
+
+    This is the top-level convenience API — ``repro.join(strings, tau=2,
+    workers=4)`` — wrapping :class:`ParallelPassJoin` (which itself runs the
+    serial :class:`~repro.core.join.PassJoin` when ``workers`` is 1).
+
+    >>> result = join(["vldb", "pvldb", "icde"], tau=1, workers=2)
+    >>> sorted(result.pair_ids())
+    [(0, 1)]
+    """
+    engine = ParallelPassJoin(tau, config, workers=workers,
+                              chunk_size=chunk_size, backend=backend)
+    if right is None:
+        return engine.self_join(strings)
+    return engine.join(strings, right)
+
+
+def parallel_self_join(strings: Iterable[str | StringRecord], tau: int,
+                       workers: int = 0,
+                       config: JoinConfig | None = None) -> JoinResult:
+    """Self-join using all CPUs by default (``workers=0``)."""
+    return ParallelPassJoin(tau, config, workers=workers).self_join(strings)

@@ -1,35 +1,12 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite (plain helpers live in helpers.py)."""
 
 from __future__ import annotations
 
-import itertools
 import random
 
 import pytest
 
-from repro.distance import edit_distance
-
-
-# ----------------------------------------------------------------------
-# Helpers
-# ----------------------------------------------------------------------
-def brute_force_pairs(strings, tau):
-    """Ground-truth similar pairs {(i, j): distance} with i < j."""
-    truth = {}
-    for (i, a), (j, b) in itertools.combinations(enumerate(strings), 2):
-        if abs(len(a) - len(b)) > tau:
-            continue
-        distance = edit_distance(a, b)
-        if distance <= tau:
-            truth[(min(i, j), max(i, j))] = distance
-    return truth
-
-
-def random_strings(count, min_len, max_len, alphabet="abcd", seed=0):
-    """Deterministic random strings over a small alphabet (collision-rich)."""
-    rng = random.Random(seed)
-    return ["".join(rng.choice(alphabet) for _ in range(rng.randint(min_len, max_len)))
-            for _ in range(count)]
+from helpers import random_strings
 
 
 # ----------------------------------------------------------------------

@@ -5,7 +5,7 @@ import itertools
 from repro.baselines.naive import NaiveJoin, naive_join
 from repro.distance import edit_distance
 
-from .conftest import random_strings
+from helpers import random_strings
 
 
 class TestNaiveSelfJoin:

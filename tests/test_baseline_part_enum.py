@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.part_enum import PartEnumJoin, _stable_hash, part_enum_join
 
-from .conftest import brute_force_pairs, random_strings
+from helpers import brute_force_pairs, random_strings
 
 
 class TestSignatures:

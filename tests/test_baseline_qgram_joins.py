@@ -6,7 +6,7 @@ from repro.baselines.all_pairs_ed import AllPairsEdJoin, all_pairs_ed_join
 from repro.baselines.ed_join import EdJoin, ed_join, min_edit_errors
 from repro.baselines.qgram import positional_qgrams
 
-from .conftest import brute_force_pairs, random_strings
+from helpers import brute_force_pairs, random_strings
 
 
 class TestMinEditErrors:

@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.trie_join import Trie, TrieJoin, trie_join
 from repro.types import StringRecord
 
-from .conftest import brute_force_pairs, random_strings
+from helpers import brute_force_pairs, random_strings
 
 
 class TestTrie:

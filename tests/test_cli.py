@@ -63,6 +63,60 @@ class TestJoinCommand:
                      "--quiet"]) == 0
 
 
+class TestWorkersFlag:
+    """Golden regression tests for the parallel engine's CLI surface."""
+
+    def test_workers_round_trip_identical_output(self, strings_file, capsys):
+        assert main(["join", str(strings_file), "--tau", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["join", str(strings_file), "--tau", "1",
+                     "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_workers_output_is_deterministic_and_sorted(self, strings_file,
+                                                        capsys):
+        outputs = []
+        for _ in range(2):
+            assert main(["join", str(strings_file), "--tau", "1",
+                         "--workers", "2", "--chunk-size", "1"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        ids = [tuple(map(int, line.split("\t")[:2]))
+               for line in outputs[0].splitlines()]
+        assert ids == sorted(ids)
+        assert ids == [(0, 1), (2, 3)]
+
+    def test_workers_zero_means_all_cpus(self, strings_file, capsys):
+        assert main(["join", str(strings_file), "--tau", "1",
+                     "--workers", "0"]) == 0
+        assert "pairs=2" in capsys.readouterr().err
+
+    def test_workers_rs_join(self, strings_file, right_file, capsys):
+        assert main(["join", str(strings_file), "--right", str(right_file),
+                     "--tau", "1", "--workers", "2"]) == 0
+        assert "vldb\tpvldb" in capsys.readouterr().out
+
+    def test_workers_rejected_for_other_algorithms(self, strings_file, capsys):
+        code = main(["join", str(strings_file), "--tau", "1",
+                     "--workers", "2", "--algorithm", "naive"])
+        assert code == 2
+        assert "pass-join" in capsys.readouterr().err
+
+    def test_chunk_size_rejected_for_other_algorithms(self, strings_file,
+                                                      capsys):
+        code = main(["join", str(strings_file), "--tau", "1",
+                     "--chunk-size", "100", "--algorithm", "naive"])
+        assert code == 2
+        assert "pass-join" in capsys.readouterr().err
+
+    def test_negative_workers_reports_error(self, strings_file, capsys):
+        code = main(["join", str(strings_file), "--tau", "1",
+                     "--workers", "-2"])
+        assert code == 1
+        assert "workers" in capsys.readouterr().err
+
+
 class TestGenerateAndStats:
     def test_generate_then_stats(self, tmp_path, capsys):
         output = tmp_path / "authors.txt"

@@ -48,6 +48,28 @@ class TestJoinConfig:
         with pytest.raises(AttributeError):
             DEFAULT_CONFIG.selection = SelectionMethod.LENGTH
 
+    def test_parallel_defaults_are_serial(self):
+        assert DEFAULT_CONFIG.workers == 1
+        assert DEFAULT_CONFIG.chunk_size is None
+
+    def test_workers_zero_means_all_cpus_is_accepted(self):
+        assert JoinConfig(workers=0).workers == 0
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "2", None, True])
+    def test_invalid_workers_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            JoinConfig(workers=bad)
+
+    @pytest.mark.parametrize("bad", [0, -4, 2.5, "10", True])
+    def test_invalid_chunk_size_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            JoinConfig(chunk_size=bad)
+
+    def test_from_names_forwards_parallel_knobs(self):
+        config = JoinConfig.from_names(workers=4, chunk_size=128)
+        assert config.workers == 4
+        assert config.chunk_size == 128
+
 
 class TestEnums:
     def test_selection_method_values(self):

@@ -12,7 +12,7 @@ from repro.core.partition import partition, segment_layout
 from repro.core.selection import make_selector
 from repro.distance import edit_distance
 
-from .conftest import brute_force_pairs
+from helpers import brute_force_pairs
 
 # Small alphabets maximise collisions, which is what stresses the filters.
 texts = st.text(alphabet="abC ", min_size=0, max_size=14)

@@ -8,7 +8,7 @@ from repro import JoinConfig, PassJoin, SelectionMethod, pass_join_rs
 from repro.baselines.naive import NaiveJoin
 from repro.distance import edit_distance
 
-from .conftest import random_strings
+from helpers import random_strings
 
 
 def brute_force_rs(left, right, tau):

@@ -6,7 +6,7 @@ from repro import (JoinConfig, PassJoin, SelectionMethod, VerificationMethod,
                    pass_join, pass_join_pairs)
 from repro.exceptions import InvalidThresholdError
 
-from .conftest import brute_force_pairs, random_strings
+from helpers import brute_force_pairs, random_strings
 
 
 class TestPaperExample:

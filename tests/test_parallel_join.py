@@ -1,0 +1,218 @@
+"""Property tests: the parallel chunked engine is exact.
+
+Every configuration of the parallel driver — worker counts, chunk sizes,
+process and thread backends, self and R-S joins, with and without strings
+too short to partition — must return the *exact* pair set (ids, distances,
+and texts) of the serial ``PassJoin``, which in turn is checked against the
+brute-force oracle.
+"""
+
+import pytest
+
+import repro
+from repro import JoinConfig, ParallelPassJoin, PassJoin
+from repro.core.parallel import (chunk_spans, default_chunk_size,
+                                 resolve_backend, resolve_workers)
+from repro.exceptions import ConfigurationError
+
+from helpers import brute_force_pairs, brute_force_rs_pairs, random_strings
+
+
+@pytest.fixture(scope="module")
+def mixed_strings():
+    """Collision-rich strings including ones shorter than tau + 1."""
+    return ["", "a", "b", "ab", "ba"] + random_strings(
+        110, 1, 14, alphabet="abc", seed=23)
+
+
+@pytest.fixture(scope="module")
+def serial_result(mixed_strings):
+    return PassJoin(2).self_join(mixed_strings)
+
+
+class TestSelfJoinEquality:
+    TAU = 2
+
+    def test_serial_matches_brute_force(self, mixed_strings, serial_result):
+        truth = brute_force_pairs(mixed_strings, self.TAU)
+        assert serial_result.pair_ids() == set(truth)
+        for pair in serial_result:
+            assert pair.distance == truth[pair.ids()]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", [None, 7])
+    def test_parallel_matches_serial(self, mixed_strings, serial_result,
+                                     workers, chunk_size):
+        engine = ParallelPassJoin(self.TAU, workers=workers,
+                                  chunk_size=chunk_size)
+        result = engine.self_join(mixed_strings)
+        assert result.sorted_pairs() == serial_result.sorted_pairs()
+
+    def test_single_string_chunks(self, mixed_strings, serial_result):
+        engine = ParallelPassJoin(self.TAU, workers=2, chunk_size=1)
+        result = engine.self_join(mixed_strings)
+        assert result.sorted_pairs() == serial_result.sorted_pairs()
+
+    def test_thread_backend(self, mixed_strings, serial_result):
+        engine = ParallelPassJoin(self.TAU, workers=3, chunk_size=11,
+                                  backend="thread")
+        result = engine.self_join(mixed_strings)
+        assert result.sorted_pairs() == serial_result.sorted_pairs()
+
+    def test_pair_order_matches_serial(self, mixed_strings, serial_result):
+        # Stronger than set equality: chunks concatenate back into the
+        # serial driver's emission order, so output is deterministic.
+        result = ParallelPassJoin(self.TAU, workers=2,
+                                  chunk_size=13).self_join(mixed_strings)
+        assert result.pairs == serial_result.pairs
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_collections(self, seed):
+        strings = random_strings(90, 1, 12, alphabet="ab", seed=seed)
+        truth = brute_force_pairs(strings, 1)
+        result = ParallelPassJoin(1, workers=4, chunk_size=9,
+                                  backend="thread").self_join(strings)
+        assert result.pair_ids() == set(truth)
+        for pair in result:
+            assert pair.distance == truth[pair.ids()]
+
+    def test_all_selection_methods(self, mixed_strings, serial_result):
+        for selection in repro.SelectionMethod:
+            config = JoinConfig(selection=selection, workers=2, chunk_size=17)
+            result = ParallelPassJoin(self.TAU, config).self_join(mixed_strings)
+            assert result.pair_ids() == serial_result.pair_ids(), selection
+
+    def test_all_verification_methods(self, mixed_strings, serial_result):
+        for verification in repro.VerificationMethod:
+            config = JoinConfig(verification=verification, workers=2,
+                                chunk_size=17)
+            result = ParallelPassJoin(self.TAU, config).self_join(mixed_strings)
+            assert result.pair_ids() == serial_result.pair_ids(), verification
+
+    def test_workers_one_is_exactly_serial(self, mixed_strings, serial_result):
+        result = ParallelPassJoin(self.TAU, workers=1).self_join(mixed_strings)
+        assert result.pairs == serial_result.pairs
+        assert (result.statistics.num_candidates
+                == serial_result.statistics.num_candidates)
+        assert (result.statistics.num_verifications
+                == serial_result.statistics.num_verifications)
+
+    def test_empty_and_tiny_collections(self):
+        assert ParallelPassJoin(2, workers=4).self_join([]).pairs == []
+        assert ParallelPassJoin(2, workers=4).self_join(["abc"]).pairs == []
+
+
+class TestRSJoinEquality:
+    TAU = 2
+
+    @pytest.fixture(scope="class")
+    def left(self):
+        return ["", "x"] + random_strings(70, 1, 12, alphabet="abx", seed=31)
+
+    @pytest.fixture(scope="class")
+    def right(self):
+        return ["y", "xy"] + random_strings(80, 1, 12, alphabet="abx", seed=32)
+
+    @pytest.fixture(scope="class")
+    def serial_rs(self, left, right):
+        return PassJoin(self.TAU).join(left, right)
+
+    def test_serial_matches_brute_force(self, left, right, serial_rs):
+        truth = brute_force_rs_pairs(left, right, self.TAU)
+        assert serial_rs.pair_ids() == set(truth)
+        for pair in serial_rs:
+            assert pair.distance == truth[pair.ids()]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("chunk_size", [None, 5])
+    def test_parallel_matches_serial(self, left, right, serial_rs, workers,
+                                     chunk_size):
+        engine = ParallelPassJoin(self.TAU, workers=workers,
+                                  chunk_size=chunk_size)
+        result = engine.join(left, right)
+        assert result.sorted_pairs() == serial_rs.sorted_pairs()
+
+    def test_thread_backend(self, left, right, serial_rs):
+        result = ParallelPassJoin(self.TAU, workers=3, chunk_size=8,
+                                  backend="thread").join(left, right)
+        assert result.sorted_pairs() == serial_rs.sorted_pairs()
+
+    def test_shared_ids_stay_distinct_collections(self):
+        # In an R-S join equal ids on both sides are different strings and
+        # must still pair up (allow_same_id path).
+        result = ParallelPassJoin(1, workers=2, chunk_size=2).join(
+            ["vldb", "icde"], ["vldb", "edbt"])
+        assert (0, 0) in result.pair_ids()
+
+
+class TestConvenienceAPI:
+    def test_join_self(self):
+        result = repro.join(["vldb", "pvldb", "icde"], tau=1, workers=2)
+        assert result.pair_ids() == {(0, 1)}
+
+    def test_join_rs(self):
+        result = repro.join(["vldb"], tau=1, right=["pvldb", "edbt"],
+                            workers=2, chunk_size=1)
+        assert result.pair_ids() == {(0, 0)}
+
+    def test_join_defaults_to_serial(self):
+        result = repro.join(["vldb", "pvldb"], tau=1)
+        assert result.pair_ids() == {(0, 1)}
+
+    def test_parallel_self_join_uses_all_cpus(self):
+        result = repro.parallel_self_join(["vldb", "pvldb", "icde"], tau=1)
+        assert result.pair_ids() == {(0, 1)}
+
+    def test_statistics_are_merged(self):
+        strings = random_strings(60, 3, 10, seed=4)
+        result = repro.join(strings, tau=1, workers=2, chunk_size=10)
+        stats = result.statistics
+        assert stats.num_strings == len(strings)
+        assert stats.num_results == len(result)
+        assert stats.num_verifications > 0
+        assert stats.index_entries > 0
+        assert stats.total_seconds > 0
+
+
+class TestKnobs:
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+
+    def test_resolve_backend(self):
+        assert resolve_backend("thread") == "thread"
+        assert resolve_backend("process") == "process"
+        assert resolve_backend("auto") in ("process", "thread")
+        with pytest.raises(ConfigurationError):
+            resolve_backend("rayon")
+
+    def test_default_chunk_size(self):
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(100, 4) == 7  # ceil(100 / 16)
+        assert default_chunk_size(10**9, 4) == 4096  # bounded
+
+    def test_chunk_spans_cover_range(self):
+        spans = chunk_spans(10, 3)
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert chunk_spans(0, 3) == []
+
+    def test_engine_reads_config_fields(self):
+        config = JoinConfig(workers=2, chunk_size=5)
+        engine = ParallelPassJoin(1, config)
+        assert engine.config.workers == 2
+        assert engine.config.chunk_size == 5
+
+    def test_constructor_overrides_config(self):
+        config = JoinConfig(workers=2, chunk_size=5)
+        engine = ParallelPassJoin(1, config, workers=4, chunk_size=9)
+        assert engine.config.workers == 4
+        assert engine.config.chunk_size == 9
+
+    def test_concurrent_runs_are_detected(self, monkeypatch):
+        from repro.core import parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "_STATE", object())
+        with pytest.raises(RuntimeError, match="already active"):
+            ParallelPassJoin(1, workers=2, backend="thread").self_join(
+                ["ab", "abc", "abd"])

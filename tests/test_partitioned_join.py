@@ -7,7 +7,7 @@ from repro.external import PartitionedSelfJoin, partitioned_self_join
 from repro.types import as_records
 from repro import pass_join
 
-from .conftest import brute_force_pairs, random_strings
+from helpers import brute_force_pairs, random_strings
 
 
 class TestPartitionedJoinCorrectness:

@@ -9,7 +9,7 @@ from repro.search import PassJoinSearcher, SearchMatch, search_all
 from repro.search.searcher import iter_matches
 from repro.types import StringRecord
 
-from .conftest import random_strings
+from helpers import random_strings
 
 
 class TestBasicSearch:

@@ -5,7 +5,7 @@ import pytest
 from repro.distance import edit_distance
 from repro.topk import closest_pair, top_k_join
 
-from .conftest import brute_force_pairs, random_strings
+from helpers import brute_force_pairs, random_strings
 
 
 class TestTopKJoin:
