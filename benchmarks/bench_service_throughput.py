@@ -1,0 +1,92 @@
+"""Online serving layer — queries/sec with and without the query cache.
+
+The paper has no serving story; this benchmark measures the subsystem that
+turns the batch reproduction into an online service.  Two entry points:
+
+* Under pytest-benchmark (the suite's idiom) it runs the
+  ``service-throughput`` experiment at ``BENCH_SCALE`` and asserts the
+  acceptance criterion: on a repeated-query workload the cache-on
+  configuration must answer at least 2x the queries/sec of cache-off,
+  while returning exactly the same matches.
+* As a script it runs a larger demonstration::
+
+      PYTHONPATH=src python benchmarks/bench_service_throughput.py \\
+          --size 10000 --tau 2 --queries 2000
+
+  and exits non-zero if the 2x bar is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+try:  # absent when executed as a plain script (python benchmarks/bench_...py)
+    from .conftest import BENCH_SCALE, record_table
+except ImportError:  # pragma: no cover - script mode
+    BENCH_SCALE, record_table = 0.25, None
+
+from repro.bench.experiments import service_throughput
+from repro.bench.reporting import format_table
+
+
+def _check_rows(table) -> tuple[dict, dict]:
+    rows = {row["cache"]: row for row in table.rows}
+    return rows["off"], rows["on"]
+
+
+def test_service_throughput(benchmark):
+    table = benchmark.pedantic(
+        lambda: service_throughput(scale=BENCH_SCALE, tau=2),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    off, on = _check_rows(table)
+    # Cached answers must be the exact uncached answers...
+    assert on["total_matches"] == off["total_matches"]
+    # ... and the acceptance bar: >= 2x queries/sec on a repeated workload.
+    assert on["qps"] >= 2 * off["qps"], (off, on)
+
+
+def run_throughput_demo(size: int, tau: int, queries: int,
+                        distinct_fraction: float, seed: int = 7) -> int:
+    """Generate ``size`` author strings, run the workload, print the table.
+
+    Returns 0 when cache-on reached 2x cache-off queries/sec with
+    identical results; 1 otherwise.
+    """
+    from repro.bench.experiments import DEFAULT_SIZES
+
+    scale = size / DEFAULT_SIZES["author"]
+    table = service_throughput(scale=scale, tau=tau, num_queries=queries,
+                               distinct_fraction=distinct_fraction, seed=seed)
+    print(format_table(table))
+    off, on = _check_rows(table)
+    if on["total_matches"] != off["total_matches"]:
+        print("FAIL: cached and uncached runs disagree on the matches",
+              file=sys.stderr)
+        return 1
+    if on["qps"] < 2 * off["qps"]:
+        print(f"FAIL: cache-on reached only {on['speedup']}x "
+              f"(target: >= 2x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=10000,
+                        help="number of synthetic author strings "
+                             "(default 10000)")
+    parser.add_argument("--tau", type=int, default=2,
+                        help="edit-distance threshold (default 2)")
+    parser.add_argument("--queries", type=int, default=2000,
+                        help="workload size (default 2000)")
+    parser.add_argument("--distinct", type=float, default=0.1,
+                        help="fraction of distinct queries (default 0.1)")
+    args = parser.parse_args(argv)
+    return run_throughput_demo(args.size, args.tau, args.queries,
+                               args.distinct)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,11 @@ runs ``pytest --collect-only`` with the canonical ``PYTHONPATH`` and fails
 loudly if any module cannot even be imported — CI runs it before the real
 test step so import-time breakage can never land silently again.
 
+It also verifies that every ``benchmarks/bench_*.py`` module contributes at
+least one collected test: a benchmark that silently stops being collected
+(renamed test function, missing ``test_`` prefix, conditional import gone
+wrong) would otherwise drop out of CI without anyone noticing.
+
 Usage::
 
     python scripts/check_collect.py
@@ -23,15 +28,19 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def _collect(env: dict, args: list[str]) -> "subprocess.CompletedProcess[str]":
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q",
+         "-p", "no:cacheprovider", *args],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+
+
 def main() -> int:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-    proc = subprocess.run(
-        [sys.executable, "-m", "pytest", "--collect-only", "-q",
-         "-p", "no:cacheprovider"],
-        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    proc = _collect(env, [])
     tail = "\n".join(proc.stdout.strip().splitlines()[-10:])
     if proc.returncode != 0:
         print(tail)
@@ -45,7 +54,27 @@ def main() -> int:
         print(tail)
         print("FAIL: zero tests collected", file=sys.stderr)
         return 1
-    print(f"OK: {collected} tests collected cleanly")
+
+    # The bench_*.py modules do not match pytest's default test_*.py file
+    # pattern, so they are only ever collected as explicit arguments — a
+    # renamed test function or broken import there would vanish from CI
+    # silently.  Collect them explicitly and require at least one test each.
+    bench_files = sorted((REPO_ROOT / "benchmarks").glob("bench_*.py"))
+    bench_proc = _collect(env, [str(p.relative_to(REPO_ROOT)) for p in bench_files])
+    if bench_proc.returncode != 0:
+        print("\n".join(bench_proc.stdout.strip().splitlines()[-10:]))
+        print(bench_proc.stderr.strip()[-2000:], file=sys.stderr)
+        print("FAIL: benchmark collection is broken (see errors above)",
+              file=sys.stderr)
+        return 1
+    missing = [path.name for path in bench_files
+               if f"benchmarks/{path.name}::" not in bench_proc.stdout]
+    if missing:
+        print(f"FAIL: benchmark modules collected no tests: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    print(f"OK: {collected} tests collected cleanly; "
+          f"{len(bench_files)} benchmark modules all contribute tests")
     return 0
 
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""CI smoke test: start the similarity server, run 3 queries, assert results.
+
+Exercises the full serving stack end to end over a real TCP socket — the
+asyncio server, the JSON-lines protocol, the blocking client, the query
+cache, and the dynamic index — in under a second::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+
+Exits 0 when every assertion holds, 1 (with a traceback) otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import ServiceConfig  # noqa: E402
+from repro.service import BackgroundServer, ServiceClient  # noqa: E402
+
+STRINGS = ["vldb", "pvldb", "sigmod", "sigmmod", "icde", "edbt"]
+
+
+def main() -> int:
+    config = ServiceConfig(port=0, max_tau=2)
+    with BackgroundServer(STRINGS, config) as (host, port):
+        with ServiceClient(host, port) as client:
+            # Query 1: threshold search finds the planted near-duplicates.
+            matches = client.search("vldb", tau=1)
+            assert [(m.id, m.distance, m.text) for m in matches] == [
+                (0, 0, "vldb"), (1, 1, "pvldb")], matches
+
+            # Query 2: the identical request must be served by the cache.
+            again = client.search("vldb", tau=1)
+            assert again == matches, again
+            stats = client.stats()
+            assert stats["cache"]["hits"] >= 1, stats
+
+            # Query 3: top-k after a mutation (cache must not serve stale).
+            new_id = client.insert("sigmoe")
+            top = client.top_k("sigmod", 2)
+            assert [(m.distance, m.id) for m in top] == [(0, 2), (1, 3)], top
+            near = client.search("sigmoe", tau=0)
+            assert [(m.id, m.text) for m in near] == [(new_id, "sigmoe")], near
+    print(f"OK: service smoke passed on {host}:{port} "
+          f"({stats['queries_served']}+ queries, "
+          f"cache hits={stats['cache']['hits']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,9 @@ The top-level package re-exports the public API:
 * :class:`ParallelPassJoin` — the chunk-parallel driver behind :func:`join`.
 * :func:`edit_distance` and the bounded kernels — the distance substrate.
 * :class:`JoinConfig` and the method enums — configuration.
+* :mod:`repro.service` — the online serving layer: :class:`DynamicSearcher`
+  (mutable index), :class:`QueryCache`, :class:`RequestBatcher`, and the
+  asyncio JSON-lines server/clients behind ``passjoin serve`` / ``query``.
 * :mod:`repro.baselines` — ED-Join, Trie-Join, All-Pairs-Ed, naive join.
 * :mod:`repro.datasets` — synthetic dataset generators and loaders.
 * :mod:`repro.bench` — the experiment harness reproducing the paper's
@@ -48,6 +51,9 @@ from .exceptions import (ConfigurationError, DatasetError, InvalidPartitionError
 from .external import PartitionedSelfJoin, partitioned_self_join
 from .preprocessing import NormalizationConfig, normalize, normalize_all
 from .search import PassJoinSearcher, SearchMatch, search_all
+from .service import (AsyncServiceClient, DynamicSearcher, QueryCache,
+                      RequestBatcher, ServiceClient, ServiceConfig,
+                      SimilarityServer, SimilarityService)
 from .topk import closest_pair, top_k_join
 from .types import (JoinResult, JoinStatistics, SimilarPair, StringRecord,
                     as_records)
@@ -69,6 +75,15 @@ __all__ = [
     "PassJoinSearcher",
     "SearchMatch",
     "search_all",
+    # online serving (repro.service)
+    "DynamicSearcher",
+    "QueryCache",
+    "RequestBatcher",
+    "SimilarityService",
+    "SimilarityServer",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "ServiceConfig",
     "top_k_join",
     "closest_pair",
     "PartitionedSelfJoin",

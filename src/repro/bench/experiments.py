@@ -366,6 +366,72 @@ def parallel_scaling(scale: float = 1.0, name: str = "author", tau: int = 2,
 
 
 # ----------------------------------------------------------------------
+# Service throughput (beyond the paper — the online serving layer)
+# ----------------------------------------------------------------------
+def service_throughput(scale: float = 1.0, name: str = "author", tau: int = 2,
+                       num_queries: int | None = None,
+                       distinct_fraction: float = 0.1,
+                       cache_capacity: int = 1024,
+                       seed: int = 7) -> ExperimentTable:
+    """Queries/sec of the serving core with the query cache off and on.
+
+    A repeated-query workload (``distinct_fraction`` of the requests are
+    distinct; the rest repeat them, mimicking popular online lookups) runs
+    through :class:`~repro.service.server.SimilarityService` twice — once
+    with ``cache_capacity=0`` and once with the cache enabled.  Both runs
+    must return the same total number of matches; the table records the
+    speedup and the cache hit rate.  Transport (JSON framing, TCP) is
+    deliberately excluded: this measures the serving core the transport
+    multiplexes onto.
+    """
+    import random
+
+    from ..config import ServiceConfig
+    from ..datasets.corruption import apply_random_edits
+    from ..service.server import SimilarityService
+
+    strings = build_datasets(scale, [name])[name]
+    if num_queries is None:
+        num_queries = max(20, int(400 * scale))
+    rng = random.Random(seed)
+    distinct = max(1, min(num_queries, int(num_queries * distinct_fraction)))
+    pool = [apply_random_edits(rng.choice(strings), rng.randint(0, tau), rng)
+            for _ in range(distinct)]
+    workload = [rng.choice(pool) for _ in range(num_queries)]
+
+    table = ExperimentTable(
+        key="service-throughput",
+        title="Online service throughput: query cache off vs on",
+        columns=["dataset", "tau", "queries", "distinct", "cache", "seconds",
+                 "qps", "speedup", "hit_rate", "total_matches"],
+        notes=f"{distinct} distinct queries repeated to {num_queries} "
+              "requests; serving core only (no TCP transport); " + _SCALE_NOTE,
+    )
+    measured: list[tuple[str, float, float, int]] = []
+    for label, capacity in (("off", 0), ("on", cache_capacity)):
+        service = SimilarityService(
+            strings, ServiceConfig(max_tau=tau, cache_capacity=capacity))
+        keys = [("search", query, tau) for query in workload]
+        total_matches = 0
+        with Timer() as timer:
+            for key in keys:
+                matches, _ = service.execute_queries([key])[0]
+                total_matches += len(matches)
+        measured.append((label, timer.seconds,
+                         service.cache.stats.hit_rate, total_matches))
+    baseline_seconds = measured[0][1]
+    for label, seconds, hit_rate, total_matches in measured:
+        table.add_row(dataset=name, tau=tau, queries=num_queries,
+                      distinct=distinct, cache=label,
+                      seconds=round(seconds, 6),
+                      qps=round(num_queries / max(seconds, 1e-9), 1),
+                      speedup=round(baseline_seconds / max(seconds, 1e-9), 3),
+                      hit_rate=round(hit_rate, 4),
+                      total_matches=total_matches)
+    return table
+
+
+# ----------------------------------------------------------------------
 # Ablations (beyond the paper's figures)
 # ----------------------------------------------------------------------
 def ablation_partition_strategies(scale: float = 1.0, name: str = "author",
@@ -452,6 +518,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "figure15": fig15_comparison,
     "figure16": fig16_scalability,
     "parallel-scaling": parallel_scaling,
+    "service-throughput": service_throughput,
     "ablation-partition": ablation_partition_strategies,
     "ablation-verifier": ablation_verifier_kernels,
     "ablation-filter-quality": ablation_filter_quality,

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the day-to-day uses of the library::
+Six subcommands cover the day-to-day uses of the library::
 
     passjoin join FILE --tau 2                 # self-join a file of strings
     passjoin join FILE --tau 2 --workers 4     # ... on 4 cores (0 = all)
@@ -8,6 +8,8 @@ Four subcommands cover the day-to-day uses of the library::
     passjoin generate author out.txt --size 10000
     passjoin stats FILE                        # Table-2-style statistics
     passjoin experiment figure15 --scale 0.5   # rerun a paper experiment
+    passjoin serve FILE --tau 2 --port 8765    # online similarity service
+    passjoin query "some string" --tau 1       # ask a running service
 
 The module is also importable: :func:`main` takes an ``argv`` list, which is
 what the CLI tests use.
@@ -16,6 +18,7 @@ what the CLI tests use.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import Sequence
 
@@ -25,7 +28,8 @@ from .baselines.naive import NaiveJoin
 from .baselines.trie_join import TrieJoin
 from .bench.experiments import DATASET_BUILDERS, EXPERIMENTS
 from .bench.reporting import format_table
-from .config import JoinConfig, SelectionMethod, VerificationMethod
+from .config import (JoinConfig, SelectionMethod, ServiceConfig,
+                     VerificationMethod)
 from .core.join import PassJoin
 from .core.parallel import ParallelPassJoin
 from .datasets.loaders import load_strings, save_strings
@@ -81,6 +85,39 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="dataset scale factor (1.0 = library defaults)")
     experiment.add_argument("--markdown", action="store_true",
                             help="emit a Markdown table instead of plain text")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a collection as an online similarity service "
+                      "(JSON lines over TCP)")
+    serve.add_argument("path", help="input file, one string per line")
+    serve.add_argument("--tau", type=int, default=2,
+                       help="maximum per-query edit-distance threshold "
+                            "(default 2)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (default 8765; 0 = ephemeral)")
+    serve.add_argument("--cache-capacity", type=int, default=1024,
+                       help="query-cache entries (0 disables; default 1024)")
+    serve.add_argument("--compact-interval", type=int, default=64,
+                       help="tombstones tolerated before index compaction "
+                            "(default 64)")
+    serve.add_argument("--limit", type=int,
+                       help="read at most this many strings")
+
+    query = subparsers.add_parser(
+        "query", help="query a running similarity service")
+    query.add_argument("text", help="the query string")
+    query.add_argument("--tau", type=int, default=None,
+                       help="edit-distance threshold (default: the "
+                            "server's maximum)")
+    query.add_argument("--top-k", type=int, default=None,
+                       help="return the k closest strings instead of a "
+                            "threshold search")
+    query.add_argument("--host", default="127.0.0.1",
+                       help="server address (default 127.0.0.1)")
+    query.add_argument("--port", type=int, default=8765,
+                       help="server port (default 8765)")
     return parser
 
 
@@ -154,6 +191,45 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service.server import run_service
+
+    strings = load_strings(args.path, limit=args.limit)
+    config = ServiceConfig(host=args.host, port=args.port, max_tau=args.tau,
+                           cache_capacity=args.cache_capacity,
+                           compact_interval=args.compact_interval)
+
+    def announce(address: tuple[str, int]) -> None:
+        print(f"serving {len(strings)} strings on {address[0]}:{address[1]} "
+              f"(max_tau={config.max_tau}, cache={config.cache_capacity}); "
+              f"Ctrl-C to stop", file=sys.stderr)
+
+    try:
+        asyncio.run(run_service(strings, config, on_ready=announce))
+    except KeyboardInterrupt:
+        print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            if args.top_k is not None:
+                matches = client.top_k(args.text, args.top_k, args.tau)
+            else:
+                matches = client.search(args.text, args.tau)
+    except OSError as error:
+        print(f"error: cannot reach server at {args.host}:{args.port} "
+              f"({error})", file=sys.stderr)
+        return 1
+    for match in matches:
+        print(f"{match.id}\t{match.distance}\t{match.text}")
+    print(f"# matches={len(matches)}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used both by the console script and by the tests."""
     parser = _build_parser()
@@ -163,6 +239,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _command_generate,
         "stats": _command_stats,
         "experiment": _command_experiment,
+        "serve": _command_serve,
+        "query": _command_query,
     }
     try:
         return handlers[args.command](args)

@@ -166,3 +166,76 @@ class JoinConfig:
 
 
 DEFAULT_CONFIG = JoinConfig()
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Tuning knobs for the online serving layer (:mod:`repro.service`).
+
+    Parameters
+    ----------
+    host / port:
+        Bind address of the JSON-lines TCP server.  ``port=0`` asks the
+        operating system for an ephemeral port (the bound port is reported
+        by :attr:`repro.service.server.SimilarityServer.address`).
+    max_tau:
+        Largest edit-distance threshold any query may use; the dynamic
+        index partitions every string into ``max_tau + 1`` segments.
+    partition:
+        Partition strategy for indexed strings (default: even).
+    cache_capacity:
+        Maximum number of query results kept by the LRU
+        :class:`~repro.service.cache.QueryCache`; ``0`` disables caching.
+    max_batch:
+        Maximum number of concurrent requests the
+        :class:`~repro.service.batcher.RequestBatcher` coalesces into one
+        index pass; reaching it drains the batch immediately.
+    batch_window:
+        Seconds the batcher waits for more concurrent requests before
+        draining a non-full batch (small: it only exists to catch requests
+        arriving in the same scheduling quantum).
+    compact_interval:
+        Number of tombstoned (deleted but still indexed) records the
+        dynamic index tolerates before compacting automatically; ``0``
+        compacts on every delete.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    max_tau: int = 2
+    partition: PartitionStrategy = PartitionStrategy.EVEN
+    cache_capacity: int = 1024
+    max_batch: int = 64
+    batch_window: float = 0.002
+    compact_interval: int = 64
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.partition, PartitionStrategy):
+            object.__setattr__(
+                self, "partition", PartitionStrategy(str(self.partition))
+            )
+        validate_threshold(self.max_tau)
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigurationError(f"host must be a non-empty string, "
+                                     f"got {self.host!r}")
+        for name, value in (("port", self.port),
+                            ("cache_capacity", self.cache_capacity),
+                            ("compact_interval", self.compact_interval)):
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"{name} must be a non-negative integer, got {value!r}")
+        if self.port > 65535:
+            raise ConfigurationError(f"port must be <= 65535, got {self.port}")
+        if (isinstance(self.max_batch, bool) or not isinstance(self.max_batch, int)
+                or self.max_batch < 1):
+            raise ConfigurationError(
+                f"max_batch must be a positive integer, got {self.max_batch!r}")
+        if (isinstance(self.batch_window, bool)
+                or not isinstance(self.batch_window, (int, float))
+                or self.batch_window < 0):
+            raise ConfigurationError(
+                f"batch_window must be a non-negative number, "
+                f"got {self.batch_window!r}")
+
+
+DEFAULT_SERVICE_CONFIG = ServiceConfig()

@@ -89,6 +89,59 @@ class SegmentIndex:
         """Index every record; return the total number of segments added."""
         return sum(self.add(record) for record in records)
 
+    def remove(self, record: StringRecord) -> int:
+        """Remove a previously :meth:`add`-ed record's postings.
+
+        This is the compaction hook for the online service layer
+        (:class:`repro.service.DynamicSearcher`): tombstoned records are
+        physically purged from the inverted lists here, keeping the
+        remaining entries in their original relative order.  Returns the
+        number of postings removed (``0`` when the record was never
+        indexed, e.g. because it was too short to partition).
+        """
+        length = record.length
+        if not can_partition(length, self.tau):
+            return 0
+        per_length = self._indices.get(length)
+        if per_length is None:
+            return 0
+        removed = 0
+        removed_bytes = 0
+        for segment in partition(record.text, self.tau, self.strategy):
+            per_ordinal = per_length.get(segment.ordinal)
+            if per_ordinal is None:
+                continue
+            postings = per_ordinal.get(segment.text)
+            if postings is None:
+                continue
+            try:
+                postings.remove(record)
+            except ValueError:
+                continue
+            removed += 1
+            removed_bytes += 8
+            if not postings:
+                del per_ordinal[segment.text]
+                removed_bytes += len(segment.text)
+        if removed == 0:
+            return 0
+        remaining = self._records_per_length.get(length, 0) - 1
+        if remaining > 0:
+            self._records_per_length[length] = remaining
+        else:
+            self._records_per_length.pop(length, None)
+            del self._indices[length]
+        self._entries_by_length[length] = (
+            self._entries_by_length.get(length, 0) - removed)
+        self._bytes_by_length[length] = (
+            self._bytes_by_length.get(length, 0) - removed_bytes)
+        if remaining <= 0:
+            self._entries_by_length.pop(length, None)
+            self._bytes_by_length.pop(length, None)
+        self._current_entries -= removed
+        self._current_bytes -= removed_bytes
+        return removed
+
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------

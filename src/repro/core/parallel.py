@@ -24,6 +24,12 @@ delegates to :class:`PassJoin` outright, so serial behaviour is *identical*
 by construction, and any number of workers returns the exact same pair set
 (the property-based tests compare against both the serial driver and the
 brute-force oracle).
+
+Each run packages what its workers need into an explicit
+:class:`WorkerContext` — installed per worker process by the fork pool's
+initializer, passed as an argument to thread workers — so concurrent
+parallel runs in one process (e.g. under the async serving layer) never
+share mutable state.
 """
 
 from __future__ import annotations
@@ -105,8 +111,14 @@ def chunk_spans(total: int, chunk_size: int) -> list[tuple[int, int]]:
 
 
 @dataclass(slots=True)
-class _SharedJoin:
-    """Everything a probe worker needs, shared read-only across chunks."""
+class WorkerContext:
+    """Everything a probe worker needs, read-only for one parallel run.
+
+    Each run builds its own context and hands it to the workers explicitly
+    — through the pool initializer for ``fork`` processes, as a bound
+    argument for threads — so any number of parallel runs can coexist in
+    one parent process (the requirement of the async serving layer).
+    """
 
     tau: int
     config: JoinConfig
@@ -117,16 +129,34 @@ class _SharedJoin:
     positions: dict[int, int] | None   # record id -> sort position (self join)
 
 
-#: Module-level slot read by workers.  ``fork`` children inherit it at pool
-#: creation; threads read it directly.  Set only for the duration of one
-#: parallel run (concurrent runs in one process must use ``workers=1``).
-_STATE: _SharedJoin | None = None
+#: Per *worker-process* slot, set by :func:`_init_worker` when a fork pool
+#: spawns its workers.  It lives only in pool children (each pool installs
+#: its own run's context into its own workers); the parent process never
+#: writes it, which is what makes concurrent parallel runs safe.
+_WORKER_CONTEXT: WorkerContext | None = None
 
 
-def _probe_span(span: tuple[int, int]) -> tuple[list[SimilarPair], JoinStatistics]:
-    """Probe one chunk of the shared ordered records; return pairs + stats."""
-    state = _STATE
-    assert state is not None, "worker started without shared join state"
+def _init_worker(context: WorkerContext) -> None:
+    """Pool initializer: pin this worker process to its run's context.
+
+    With the ``fork`` start method the context rides into the child via
+    copy-on-write memory, not pickling, so this is free even for huge
+    indices.
+    """
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _probe_span_in_worker(span: tuple[int, int],
+                          ) -> tuple[list[SimilarPair], JoinStatistics]:
+    """Map function for fork pools: read the context installed at init."""
+    assert _WORKER_CONTEXT is not None, "worker started without a context"
+    return _probe_span(_WORKER_CONTEXT, span)
+
+
+def _probe_span(state: WorkerContext, span: tuple[int, int],
+                ) -> tuple[list[SimilarPair], JoinStatistics]:
+    """Probe one chunk of the run's ordered records; return pairs + stats."""
     tau = state.tau
     stats = JoinStatistics()
     selector = make_selector(state.config.selection, tau)
@@ -229,7 +259,7 @@ class ParallelPassJoin:
         stats = JoinStatistics(num_strings=len(records))
         index, short_pool = self._build_index(ordered, stats)
         positions = {record.id: pos for pos, record in enumerate(ordered)}
-        state = _SharedJoin(tau=self.tau, config=self.config, ordered=ordered,
+        state = WorkerContext(tau=self.tau, config=self.config, ordered=ordered,
                             index=index, short_pool=short_pool, self_mode=True,
                             positions=positions)
         pairs = self._run(state, workers, stats)
@@ -251,7 +281,7 @@ class ParallelPassJoin:
         stats = JoinStatistics(
             num_strings=len(left_records) + len(right_records))
         index, short_pool = self._build_index(sort_records(right_records), stats)
-        state = _SharedJoin(tau=self.tau, config=self.config, ordered=ordered,
+        state = WorkerContext(tau=self.tau, config=self.config, ordered=ordered,
                             index=index, short_pool=short_pool,
                             self_mode=False, positions=None)
         pairs = self._run(state, workers, stats)
@@ -274,7 +304,7 @@ class ParallelPassJoin:
         stats.index_bytes = index.current_approximate_bytes
         return index, short_pool
 
-    def _run(self, state: _SharedJoin, workers: int,
+    def _run(self, state: WorkerContext, workers: int,
              stats: JoinStatistics) -> list[SimilarPair]:
         total = len(state.ordered)
         if total == 0:
@@ -284,25 +314,18 @@ class ParallelPassJoin:
             chunk_size = default_chunk_size(total, workers)
         spans = chunk_spans(total, chunk_size)
 
-        global _STATE
-        if _STATE is not None:
-            raise RuntimeError(
-                "another ParallelPassJoin run is already active in this "
-                "process; concurrent parallel joins share a single state "
-                "slot — serialise them or use workers=1")
-        _STATE = state
-        try:
-            if self.backend == "process" and len(spans) > 1:
-                context = multiprocessing.get_context("fork")
-                with context.Pool(processes=min(workers, len(spans))) as pool:
-                    chunk_results = pool.map(_probe_span, spans)
-            elif len(spans) > 1:
-                with ThreadPoolExecutor(max_workers=workers) as executor:
-                    chunk_results = list(executor.map(_probe_span, spans))
-            else:
-                chunk_results = [_probe_span(spans[0])]
-        finally:
-            _STATE = None
+        if self.backend == "process" and len(spans) > 1:
+            mp_context = multiprocessing.get_context("fork")
+            with mp_context.Pool(processes=min(workers, len(spans)),
+                                 initializer=_init_worker,
+                                 initargs=(state,)) as pool:
+                chunk_results = pool.map(_probe_span_in_worker, spans)
+        elif len(spans) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                chunk_results = list(executor.map(
+                    lambda span: _probe_span(state, span), spans))
+        else:
+            chunk_results = [_probe_span(state, spans[0])]
 
         # Sum every worker-side counter; the fields the parent owns (sizes,
         # index accounting, wall clock) are set by the driver, never by a

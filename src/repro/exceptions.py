@@ -49,3 +49,11 @@ class DatasetError(PassJoinError):
 
 class ExperimentError(PassJoinError):
     """A benchmark experiment was misconfigured or failed to run."""
+
+
+class ServiceError(PassJoinError):
+    """The similarity-search service rejected a request or misbehaved.
+
+    Raised by the service clients when the server answers ``ok: false`` or
+    violates the JSON-lines protocol (truncated stream, non-JSON reply).
+    """

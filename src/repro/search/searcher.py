@@ -43,6 +43,38 @@ class SearchMatch:
     id: int
     text: str = ""
 
+    def sort_key(self) -> tuple[int, int]:
+        """Canonical result ordering: ``(distance, id)``.
+
+        Record ids are unique within a collection, so this key is total —
+        every search and top-k result list is deterministic regardless of
+        index build order, posting order, or which process produced it.
+        """
+        return (self.distance, self.id)
+
+    def to_dict(self) -> dict[str, int | str]:
+        """Stable wire representation used by the service protocol."""
+        return {"id": self.id, "distance": self.distance, "text": self.text}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "SearchMatch":
+        """Rebuild a match from :meth:`to_dict` output (wire round-trip).
+
+        Raises ``ValueError`` on malformed payloads so transport code can
+        turn them into protocol errors instead of attribute crashes.
+        """
+        try:
+            distance = payload["distance"]
+            record_id = payload["id"]
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"malformed SearchMatch payload: {payload!r}") from exc
+        text = payload.get("text", "")
+        if (isinstance(distance, bool) or not isinstance(distance, int)
+                or isinstance(record_id, bool) or not isinstance(record_id, int)
+                or not isinstance(text, str)):
+            raise ValueError(f"malformed SearchMatch payload: {payload!r}")
+        return cls(distance=distance, id=record_id, text=text)
+
 
 class PassJoinSearcher:
     """Approximate string search over a fixed collection.
@@ -141,7 +173,7 @@ class PassJoinSearcher:
                         query, candidates, context):
                     matches[record.id] = SearchMatch(distance, record.id,
                                                      record.text)
-        found = sorted(matches.values())
+        found = sorted(matches.values(), key=SearchMatch.sort_key)
         stats.num_results += len(found)
         return found
 
@@ -152,8 +184,10 @@ class PassJoinSearcher:
 
         The threshold is grown from 0 upwards (each round reuses the same
         index) until ``k`` matches are found or ``max_tau`` (default: the
-        index's ``max_tau``) is reached; ties at the final distance are
-        broken by record id.
+        index's ``max_tau``) is reached.  Results follow the canonical
+        ``(distance, id)`` ordering of :meth:`SearchMatch.sort_key`, so ties
+        at the cut-off distance are broken by record id — deterministic
+        across processes, index builds, and serving replicas.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")

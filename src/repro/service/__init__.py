@@ -1,0 +1,48 @@
+"""Online similarity-search serving layer (beyond the paper).
+
+The paper's segment index is built once per batch join; this package turns
+it into a long-lived service on the path to the ROADMAP's "heavy traffic"
+north star.  Three layers, composable and individually testable:
+
+1. **Dynamic index** — :class:`DynamicSearcher`: the Pass-Join search
+   index with ``insert``/``delete`` (tombstones + periodic compaction).
+   Search and top-k stay exact: results are always identical to a fresh
+   :class:`~repro.search.searcher.PassJoinSearcher` over the surviving
+   strings.
+2. **Serving core** — :class:`QueryCache` (LRU keyed on the query,
+   invalidated wholesale when the collection's mutation epoch moves) and
+   :class:`RequestBatcher` (coalesces concurrent lookups into one index
+   pass); :class:`SimilarityService` wires the two around the dynamic
+   index and speaks the request/response vocabulary.
+3. **Transport** — :class:`SimilarityServer`, an asyncio JSON-lines TCP
+   server, with :class:`ServiceClient` (blocking) and
+   :class:`AsyncServiceClient` (asyncio) counterparts, and
+   :class:`BackgroundServer` to host the stack from synchronous code.
+
+Configuration lives in :class:`repro.config.ServiceConfig`; the CLI
+exposes the stack as ``passjoin serve`` / ``passjoin query``.
+"""
+
+from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig
+from .batcher import BatcherStats, RequestBatcher
+from .cache import CacheStats, QueryCache
+from .client import AsyncServiceClient, ServiceClient
+from .dynamic import DynamicSearcher
+from .server import (BackgroundServer, SimilarityServer, SimilarityService,
+                     run_service)
+
+__all__ = [
+    "DynamicSearcher",
+    "QueryCache",
+    "CacheStats",
+    "RequestBatcher",
+    "BatcherStats",
+    "SimilarityService",
+    "SimilarityServer",
+    "BackgroundServer",
+    "run_service",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "ServiceConfig",
+    "DEFAULT_SERVICE_CONFIG",
+]

@@ -1,0 +1,122 @@
+"""LRU query-result cache keyed on the query and invalidated by epoch.
+
+Online similarity traffic is heavily repetitive — the same popular lookups
+arrive over and over — while the collection mutates comparatively rarely.
+:class:`QueryCache` exploits that asymmetry: results are cached under an
+arbitrary hashable key (the service uses ``("search", query, tau)`` and
+``("top-k", query, k, limit)``) and the whole cache is dropped the moment
+the caller presents a different **epoch** (the mutation counter of
+:class:`~repro.service.dynamic.DynamicSearcher`).  Whole-cache invalidation
+is deliberate: a single insert can change the answer of *any* query, so
+per-entry invalidation would need the inverse of the similarity predicate —
+exactly the problem the index solves — and a stale answer is never worth
+that complexity in an exact system.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..search.searcher import SearchMatch
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss accounting for one :class:`QueryCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache has never been consulted)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+class QueryCache:
+    """Bounded LRU cache of query results with epoch-based invalidation.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached results; ``0`` disables the cache (every
+        :meth:`get` misses, every :meth:`put` is a no-op), which is how the
+        throughput benchmark measures the uncached baseline.
+
+    Examples
+    --------
+    >>> cache = QueryCache(capacity=2)
+    >>> cache.put(("search", "vldb", 1), epoch=0, matches=[])
+    >>> cache.get(("search", "vldb", 1), epoch=0)
+    []
+    >>> cache.get(("search", "vldb", 1), epoch=1) is None  # mutation
+    True
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if isinstance(capacity, bool) or not isinstance(capacity, int) or capacity < 0:
+            raise ValueError(f"capacity must be a non-negative integer, "
+                             f"got {capacity!r}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, list[SearchMatch]] = OrderedDict()
+        self._epoch: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _check_epoch(self, epoch: int) -> None:
+        if self._epoch != epoch:
+            if self._entries:
+                self.stats.invalidations += 1
+                self._entries.clear()
+            self._epoch = epoch
+
+    def get(self, key: Hashable, epoch: int) -> list[SearchMatch] | None:
+        """Return the cached result for ``key`` at ``epoch``, or ``None``.
+
+        A changed epoch clears the cache before the lookup, so a hit is
+        always consistent with the current collection.  Hits are moved to
+        the most-recently-used position.
+        """
+        self._check_epoch(epoch)
+        cached = self._entries.get(key)
+        if cached is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return list(cached)
+
+    def put(self, key: Hashable, epoch: int,
+            matches: Sequence[SearchMatch]) -> None:
+        """Store ``matches`` under ``key``, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        self._check_epoch(epoch)
+        self._entries[key] = list(matches)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counts as an invalidation when non-empty)."""
+        if self._entries:
+            self.stats.invalidations += 1
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueryCache(size={len(self._entries)}, "
+                f"capacity={self.capacity}, epoch={self._epoch})")

@@ -1,0 +1,224 @@
+"""Clients for the JSON-lines similarity service.
+
+Two flavours over the same wire protocol (see
+:mod:`repro.service.server`):
+
+* :class:`AsyncServiceClient` — asyncio streams, for async applications
+  and for issuing genuinely concurrent requests (the server coalesces
+  them into batched index passes).
+* :class:`ServiceClient` — a blocking socket client for scripts, the CLI
+  ``query`` subcommand, and interactive use.  No asyncio required on the
+  client side.
+
+Both return :class:`~repro.search.searcher.SearchMatch` objects rebuilt
+from the wire payload via :meth:`SearchMatch.from_dict`, so a round trip
+through the service yields values indistinguishable from a local search.
+Protocol violations and ``ok: false`` responses raise
+:class:`~repro.exceptions.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from ..exceptions import ServiceError
+from ..search.searcher import SearchMatch
+
+
+def _encode(payload: dict) -> bytes:
+    return json.dumps(payload).encode("utf-8") + b"\n"
+
+
+def _decode(line: bytes) -> dict:
+    if not line:
+        raise ServiceError("connection closed by server")
+    try:
+        response = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"invalid response from server: {error}") from error
+    if not isinstance(response, dict):
+        raise ServiceError(f"invalid response from server: {response!r}")
+    if not response.get("ok"):
+        raise ServiceError(str(response.get("error", "unknown server error")))
+    return response
+
+
+def _parse_matches(response: dict) -> list[SearchMatch]:
+    payload = response.get("matches")
+    if not isinstance(payload, list):
+        raise ServiceError(f"malformed matches payload: {payload!r}")
+    try:
+        return [SearchMatch.from_dict(item) for item in payload]
+    except ValueError as error:
+        raise ServiceError(str(error)) from error
+
+
+class _RequestMixin:
+    """The op vocabulary, shared by the sync and async clients.
+
+    Subclasses provide ``request`` (sync or awaitable); every helper here
+    just builds the payload, so the two clients cannot drift apart.
+    """
+
+    @staticmethod
+    def _search_payload(query: str, tau: int | None) -> dict:
+        payload: dict = {"op": "search", "query": query}
+        if tau is not None:
+            payload["tau"] = tau
+        return payload
+
+    @staticmethod
+    def _top_k_payload(query: str, k: int, max_tau: int | None) -> dict:
+        payload: dict = {"op": "top-k", "query": query, "k": k}
+        if max_tau is not None:
+            payload["max_tau"] = max_tau
+        return payload
+
+    @staticmethod
+    def _insert_payload(text: str, record_id: int | None) -> dict:
+        payload: dict = {"op": "insert", "text": text}
+        if record_id is not None:
+            payload["id"] = record_id
+        return payload
+
+
+class ServiceClient(_RequestMixin):
+    """Blocking JSON-lines client.
+
+    Examples
+    --------
+    ::
+
+        with ServiceClient("127.0.0.1", 8765) as client:
+            for match in client.search("vldb", tau=1):
+                print(match.id, match.distance, match.text)
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the (``ok``) response object."""
+        self._file.write(_encode(payload))
+        self._file.flush()
+        return _decode(self._file.readline())
+
+    # ------------------------------------------------------------------
+    def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
+        return _parse_matches(self.request(self._search_payload(query, tau)))
+
+    def top_k(self, query: str, k: int,
+              max_tau: int | None = None) -> list[SearchMatch]:
+        return _parse_matches(self.request(self._top_k_payload(query, k, max_tau)))
+
+    def insert(self, text: str, *, id: int | None = None) -> int:
+        return self.request(self._insert_payload(text, id))["id"]
+
+    def delete(self, record_id: int) -> bool:
+        return self.request({"op": "delete", "id": record_id})["deleted"]
+
+    def compact(self) -> int:
+        return self.request({"op": "compact"})["purged"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> None:
+        """Ask the server to stop accepting connections."""
+        self.request({"op": "shutdown"})
+
+
+class AsyncServiceClient(_RequestMixin):
+    """Asyncio JSON-lines client.
+
+    Examples
+    --------
+    ::
+
+        client = await AsyncServiceClient.connect("127.0.0.1", 8765)
+        matches = await client.search("vldb", tau=1)
+        await client.close()
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    async def request(self, payload: dict) -> dict:
+        """Send one request object, return the (``ok``) response object.
+
+        A lock pairs each request with its response line, so one client
+        object can be shared by concurrent tasks (responses on a single
+        connection are otherwise interleaved in arrival order).
+        """
+        async with self._lock:
+            self._writer.write(_encode(payload))
+            await self._writer.drain()
+            return _decode(await self._reader.readline())
+
+    # ------------------------------------------------------------------
+    async def search(self, query: str,
+                     tau: int | None = None) -> list[SearchMatch]:
+        return _parse_matches(await self.request(self._search_payload(query, tau)))
+
+    async def top_k(self, query: str, k: int,
+                    max_tau: int | None = None) -> list[SearchMatch]:
+        return _parse_matches(
+            await self.request(self._top_k_payload(query, k, max_tau)))
+
+    async def insert(self, text: str, *, id: int | None = None) -> int:
+        return (await self.request(self._insert_payload(text, id)))["id"]
+
+    async def delete(self, record_id: int) -> bool:
+        return (await self.request({"op": "delete", "id": record_id}))["deleted"]
+
+    async def compact(self) -> int:
+        return (await self.request({"op": "compact"}))["purged"]
+
+    async def stats(self) -> dict:
+        return await self.request({"op": "stats"})
+
+    async def ping(self) -> bool:
+        return bool((await self.request({"op": "ping"})).get("pong"))
+
+    async def shutdown(self) -> None:
+        """Ask the server to stop accepting connections."""
+        await self.request({"op": "shutdown"})

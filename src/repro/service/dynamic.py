@@ -1,0 +1,239 @@
+"""A mutable build-once index: Pass-Join search over a living collection.
+
+:class:`DynamicSearcher` is the online counterpart of
+:class:`~repro.search.searcher.PassJoinSearcher`: the same segment index and
+filter-and-verify pipeline, but the collection may change between queries.
+
+* :meth:`~DynamicSearcher.insert` partitions the new string and appends its
+  segments to the inverted lists (appending does not disturb correctness:
+  search results are deduplicated by id and sorted by ``(distance, id)``,
+  so posting order never shows through).
+* :meth:`~DynamicSearcher.delete` is a **tombstone**: the record's postings
+  stay in the index but every search filters its id out, which makes
+  deletion O(1).  Once ``compact_interval`` tombstones accumulate,
+  :meth:`~DynamicSearcher.compact` physically purges them via
+  :meth:`~repro.core.index.SegmentIndex.remove` (deletion cost is amortised
+  and the index never drifts far from the fresh-build footprint).
+
+Every mutation bumps :attr:`~DynamicSearcher.epoch`, the invalidation token
+consumed by :class:`~repro.service.cache.QueryCache`.
+
+Exactness: search and top-k results are identical — element for element —
+to re-building a fresh ``PassJoinSearcher`` over the surviving records,
+because both run the same selector/verifier over the same logical
+collection and the result ordering is canonical.  The property-based test
+suite asserts this equivalence on random interleavings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..config import PartitionStrategy, validate_threshold
+from ..core.engine import probe_record
+from ..core.index import SegmentIndex
+from ..core.partition import can_partition
+from ..core.selection import MultiMatchAwareSelector
+from ..core.verify import ExtensionVerifier
+from ..exceptions import InvalidThresholdError
+from ..search.searcher import SearchMatch
+from ..types import JoinStatistics, StringRecord, as_records
+
+
+class DynamicSearcher:
+    """Approximate string search over a mutable collection.
+
+    Parameters
+    ----------
+    strings:
+        Initial collection (plain strings or
+        :class:`~repro.types.StringRecord` objects with caller-chosen ids).
+    max_tau:
+        Largest edit-distance threshold any query may use.
+    partition:
+        Partition strategy (the paper's even scheme by default).
+    compact_interval:
+        Tombstone budget: once this many deleted records are still
+        physically present in the index, the next mutation compacts.
+        ``0`` compacts on every delete.
+
+    Examples
+    --------
+    >>> searcher = DynamicSearcher(["vldb", "sigmod"], max_tau=1)
+    >>> searcher.insert("pvldb")
+    2
+    >>> [m.text for m in searcher.search("vldb", tau=1)]
+    ['vldb', 'pvldb']
+    >>> searcher.delete(0)
+    True
+    >>> [m.text for m in searcher.search("vldb", tau=1)]
+    ['pvldb']
+    """
+
+    def __init__(self, strings: Iterable[str | StringRecord] = (), *,
+                 max_tau: int, partition: PartitionStrategy = PartitionStrategy.EVEN,
+                 compact_interval: int = 64) -> None:
+        self.max_tau = validate_threshold(max_tau)
+        if (isinstance(compact_interval, bool)
+                or not isinstance(compact_interval, int) or compact_interval < 0):
+            raise ValueError(f"compact_interval must be a non-negative integer, "
+                             f"got {compact_interval!r}")
+        self.compact_interval = compact_interval
+        self.statistics = JoinStatistics()
+        self._index = SegmentIndex(self.max_tau, partition)
+        self._selector = MultiMatchAwareSelector(self.max_tau)
+        self._live: dict[int, StringRecord] = {}
+        self._short_pool: dict[int, StringRecord] = {}
+        # id -> record still present in the segment index but logically gone.
+        self._tombstones: dict[int, StringRecord] = {}
+        self._epoch = 0
+        self._next_id = 0
+        for record in as_records(strings):
+            self._insert_record(record)
+        self.statistics.num_strings = len(self._live)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._live)
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumped by every insert/delete/compact."""
+        return self._epoch
+
+    @property
+    def tombstone_count(self) -> int:
+        """Deleted records still physically present in the index."""
+        return len(self._tombstones)
+
+    @property
+    def records(self) -> list[StringRecord]:
+        """The live records, ordered by id (a snapshot, safe to mutate)."""
+        return [self._live[record_id] for record_id in sorted(self._live)]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, text: str | StringRecord, *, id: int | None = None) -> int:
+        """Add one string; return its id.
+
+        Ids are auto-assigned (one above the largest ever seen) unless the
+        caller provides one via ``id=`` or a ready-made
+        :class:`~repro.types.StringRecord`.  Inserting a live id raises
+        ``ValueError``; re-using a tombstoned id is allowed (the stale
+        postings are purged first so the old record cannot resurface).
+        """
+        if isinstance(text, StringRecord):
+            record = text if id is None else StringRecord(id=id, text=text.text)
+        else:
+            record = StringRecord(id=self._next_id if id is None else id,
+                                  text=str(text))
+        if record.id in self._live:
+            raise ValueError(f"id {record.id} is already in the collection")
+        stale = self._tombstones.pop(record.id, None)
+        if stale is not None:
+            self._index.remove(stale)
+        self._insert_record(record)
+        self.statistics.num_strings += 1
+        self._bump()
+        return record.id
+
+    def delete(self, record_id: int) -> bool:
+        """Tombstone one record by id; return False when it is not live."""
+        record = self._live.pop(record_id, None)
+        if record is None:
+            return False
+        if self._short_pool.pop(record_id, None) is None:
+            self._tombstones[record_id] = record
+        self.statistics.num_strings -= 1
+        self._bump()
+        return True
+
+    def compact(self) -> int:
+        """Purge every tombstone from the segment index; return the count.
+
+        After compaction the index holds exactly the postings a fresh build
+        over the live records would (posting order aside), so memory does
+        not leak across delete-heavy workloads.
+        """
+        purged = len(self._tombstones)
+        for record in self._tombstones.values():
+            self._index.remove(record)
+        self._tombstones.clear()
+        self.statistics.index_entries = self._index.current_entry_count
+        self.statistics.index_bytes = self._index.current_approximate_bytes
+        return purged
+
+    def _insert_record(self, record: StringRecord) -> None:
+        if can_partition(record.length, self.max_tau):
+            self._index.add(record)
+            self.statistics.num_indexed_segments += self.max_tau + 1
+        else:
+            self._short_pool[record.id] = record
+        self._live[record.id] = record
+        self._next_id = max(self._next_id, record.id + 1)
+        self.statistics.index_entries = self._index.current_entry_count
+        self.statistics.index_bytes = self._index.current_approximate_bytes
+
+    def _bump(self) -> None:
+        self._epoch += 1
+        if len(self._tombstones) > self.compact_interval:
+            self.compact()
+        self.statistics.index_entries = self._index.current_entry_count
+        self.statistics.index_bytes = self._index.current_approximate_bytes
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
+        """Return every live string within ``tau`` of ``query``.
+
+        ``tau`` defaults to ``max_tau`` and must not exceed it.  Results
+        are sorted by ``(distance, id)`` — identical to a fresh
+        :class:`~repro.search.searcher.PassJoinSearcher` over the live
+        records.
+        """
+        tau = self.max_tau if tau is None else validate_threshold(tau)
+        if tau > self.max_tau:
+            raise InvalidThresholdError(tau)
+        stats = self.statistics
+        verifier = ExtensionVerifier(tau, stats)
+        probe = StringRecord(id=-1, text=query)
+        tombstones = self._tombstones
+        matches = probe_record(
+            probe, tau=tau, index=self._index,
+            short_pool=list(self._short_pool.values()),
+            selector=self._selector, verifier=verifier, stats=stats,
+            max_length=len(query) + tau, allow_same_id=True,
+            accept=(None if not tombstones
+                    else lambda record: record.id not in tombstones))
+        found = sorted((SearchMatch(distance, record.id, record.text)
+                        for record, distance in matches),
+                       key=SearchMatch.sort_key)
+        stats.num_results += len(found)
+        return found
+
+    def search_top_k(self, query: str, k: int,
+                     max_tau: int | None = None) -> list[SearchMatch]:
+        """Return the ``k`` live strings closest to ``query``.
+
+        Same widening strategy and deterministic ``(distance, id)``
+        tie-breaking as :meth:`PassJoinSearcher.search_top_k`.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        limit = self.max_tau if max_tau is None else min(
+            validate_threshold(max_tau), self.max_tau)
+        best: list[SearchMatch] = []
+        for tau in range(0, limit + 1):
+            best = self.search(query, tau)
+            if len(best) >= k:
+                break
+        return best[:k]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DynamicSearcher(live={len(self._live)}, "
+                f"tombstones={len(self._tombstones)}, epoch={self._epoch}, "
+                f"max_tau={self.max_tau})")

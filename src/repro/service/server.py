@@ -1,0 +1,395 @@
+"""The online similarity-search service: request dispatch + asyncio server.
+
+Two classes split the serving stack along the transport boundary:
+
+* :class:`SimilarityService` — the transport-free core.  It owns the
+  :class:`~repro.service.dynamic.DynamicSearcher`, the
+  :class:`~repro.service.cache.QueryCache`, and the request vocabulary
+  (``search`` / ``top-k`` / ``insert`` / ``delete`` / ``compact`` /
+  ``stats`` / ``ping``), mapping request dictionaries to response
+  dictionaries.  Tests, the smoke script, and future transports talk to
+  this object directly.
+* :class:`SimilarityServer` — the asyncio JSON-lines TCP transport.  One
+  request object per line, one response object per line, UTF-8.  Query
+  operations flow through a :class:`~repro.service.batcher.RequestBatcher`
+  so concurrent lookups coalesce into single index passes; mutations and
+  admin operations execute immediately.
+
+:class:`BackgroundServer` runs the whole stack in a daemon thread with its
+own event loop — the harness used by the synchronous client tests, the CLI
+smoke step, and anyone embedding the service in a non-async program.
+
+Wire protocol (one JSON object per line)::
+
+    → {"op": "search", "query": "vldb", "tau": 1}
+    ← {"ok": true, "matches": [{"id": 0, "distance": 0, "text": "vldb"}],
+       "cached": false, "epoch": 0}
+    → {"op": "insert", "text": "pvldb"}
+    ← {"ok": true, "id": 7, "epoch": 1}
+    → {"op": "nonsense"}
+    ← {"ok": false, "error": "unknown op 'nonsense' ..."}
+
+Malformed lines produce an ``ok: false`` response; the connection stays
+open (one bad request must not kill a pipelined client).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Callable, Iterable, Sequence
+
+from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig, validate_threshold
+from ..exceptions import InvalidThresholdError, ServiceError
+from ..search.searcher import SearchMatch
+from ..types import StringRecord
+from .batcher import RequestBatcher
+from .cache import QueryCache
+from .dynamic import DynamicSearcher
+
+#: Query operations routed through the batcher by the TCP transport.
+QUERY_OPS = ("search", "top-k")
+#: Every operation the service understands.
+ALL_OPS = QUERY_OPS + ("insert", "delete", "compact", "stats", "ping", "shutdown")
+
+#: Query keys are tuples: ("search", query, tau) or ("top-k", query, k, limit).
+QueryKey = tuple
+
+
+def _require_str(payload: dict, field: str) -> str:
+    value = payload.get(field)
+    if not isinstance(value, str):
+        raise ValueError(f"field {field!r} must be a string, got {value!r}")
+    return value
+
+
+def _require_int(payload: dict, field: str, *, minimum: int = 0) -> int:
+    value = payload.get(field)
+    if isinstance(value, bool) or not isinstance(value, int) or value < minimum:
+        raise ValueError(f"field {field!r} must be an integer >= {minimum}, "
+                         f"got {value!r}")
+    return value
+
+
+class SimilarityService:
+    """Transport-free serving core: dynamic index + cache + dispatch.
+
+    Parameters
+    ----------
+    strings:
+        Initial collection served by the dynamic index.
+    config:
+        A :class:`~repro.config.ServiceConfig`; ``max_tau``, ``partition``,
+        ``cache_capacity``, and ``compact_interval`` are consumed here, the
+        transport fields by :class:`SimilarityServer`.
+    """
+
+    def __init__(self, strings: Iterable[str | StringRecord] = (),
+                 config: ServiceConfig = DEFAULT_SERVICE_CONFIG) -> None:
+        self.config = config
+        self.searcher = DynamicSearcher(
+            strings, max_tau=config.max_tau, partition=config.partition,
+            compact_interval=config.compact_interval)
+        self.cache = QueryCache(config.cache_capacity)
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    # Query path (used directly and by the batcher)
+    # ------------------------------------------------------------------
+    def build_query_key(self, payload: dict) -> QueryKey:
+        """Validate a search/top-k request and return its cache/batch key.
+
+        All per-request validation happens here — before the request joins
+        a batch — so one malformed request can never fail the batch it
+        shares an execution with.
+        """
+        op = payload.get("op")
+        query = _require_str(payload, "query")
+        if op == "search":
+            tau = payload.get("tau")
+            tau = self.searcher.max_tau if tau is None else validate_threshold(tau)
+            if tau > self.searcher.max_tau:
+                raise InvalidThresholdError(tau)
+            return ("search", query, tau)
+        if op == "top-k":
+            k = _require_int(payload, "k", minimum=1)
+            limit = payload.get("max_tau")
+            limit = (self.searcher.max_tau if limit is None
+                     else min(validate_threshold(limit), self.searcher.max_tau))
+            return ("top-k", query, k, limit)
+        raise ValueError(f"not a query op: {op!r}")
+
+    def execute_queries(self, keys: Sequence[QueryKey],
+                        ) -> list[tuple[list[SearchMatch], bool]]:
+        """Answer a batch of validated query keys in one pass.
+
+        Returns ``(matches, cached)`` per key.  This is the
+        :class:`~repro.service.batcher.RequestBatcher` execute hook: the
+        epoch is read once per call, so every answer in a batch reflects
+        the same collection snapshot.
+        """
+        epoch = self.searcher.epoch
+        answers: list[tuple[list[SearchMatch], bool]] = []
+        for key in keys:
+            self.queries_served += 1
+            cached = self.cache.get(key, epoch)
+            if cached is not None:
+                answers.append((cached, True))
+                continue
+            if key[0] == "search":
+                matches = self.searcher.search(key[1], key[2])
+            else:
+                matches = self.searcher.search_top_k(key[1], key[2], key[3])
+            self.cache.put(key, epoch, matches)
+            answers.append((matches, False))
+        return answers
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle_request(self, payload: object) -> dict:
+        """Map one request object to one response object (never raises)."""
+        if not isinstance(payload, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = payload.get("op")
+        try:
+            if op in QUERY_OPS:
+                key = self.build_query_key(payload)
+                matches, cached = self.execute_queries([key])[0]
+                return self._query_response(matches, cached)
+            if op == "insert":
+                text = _require_str(payload, "text")
+                record_id = (None if payload.get("id") is None
+                             else _require_int(payload, "id"))
+                new_id = self.searcher.insert(text, id=record_id)
+                return {"ok": True, "id": new_id, "epoch": self.searcher.epoch}
+            if op == "delete":
+                record_id = _require_int(payload, "id")
+                deleted = self.searcher.delete(record_id)
+                return {"ok": True, "deleted": deleted,
+                        "epoch": self.searcher.epoch}
+            if op == "compact":
+                purged = self.searcher.compact()
+                return {"ok": True, "purged": purged,
+                        "epoch": self.searcher.epoch}
+            if op == "stats":
+                return {"ok": True, **self.stats()}
+            if op == "ping":
+                return {"ok": True, "pong": True, "epoch": self.searcher.epoch}
+            if op == "shutdown":
+                return {"ok": False,
+                        "error": "shutdown is handled by the TCP transport, "
+                                 "not the service core"}
+            return {"ok": False,
+                    "error": f"unknown op {op!r}; expected one of "
+                             f"{', '.join(ALL_OPS)}"}
+        except (ValueError, TypeError) as error:
+            return {"ok": False, "error": str(error)}
+
+    def _query_response(self, matches: list[SearchMatch], cached: bool) -> dict:
+        return {"ok": True, "matches": [match.to_dict() for match in matches],
+                "cached": cached, "epoch": self.searcher.epoch}
+
+    def stats(self) -> dict:
+        """Service-level counters (the ``stats`` op payload minus ``ok``)."""
+        return {
+            "size": len(self.searcher),
+            "epoch": self.searcher.epoch,
+            "tombstones": self.searcher.tombstone_count,
+            "max_tau": self.searcher.max_tau,
+            "queries_served": self.queries_served,
+            "cache": self.cache.stats.as_dict(),
+            "index_entries": self.searcher.statistics.index_entries,
+            "index_bytes": self.searcher.statistics.index_bytes,
+        }
+
+
+class SimilarityServer:
+    """Asyncio JSON-lines TCP transport around a :class:`SimilarityService`.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> async def demo():
+    ...     server = SimilarityServer(SimilarityService(["vldb"]), port=0)
+    ...     host, port = await server.start()
+    ...     await server.stop()
+    ...     return host
+    >>> asyncio.run(demo())
+    '127.0.0.1'
+    """
+
+    def __init__(self, service: SimilarityService, *, host: str | None = None,
+                 port: int | None = None) -> None:
+        self.service = service
+        config = service.config
+        self.host = config.host if host is None else host
+        self.port = config.port if port is None else port
+        self.batcher = RequestBatcher(service.execute_queries,
+                                      max_batch=config.max_batch,
+                                      window=config.batch_window)
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; return ``(host, port)``.
+
+        With ``port=0`` the operating system picks the port; the bound
+        address is stored in :attr:`address`.
+        """
+        if self._server is not None:
+            raise ServiceError("server is already running")
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle_connection,
+                                                  self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` is called (or a shutdown op arrives)."""
+        if self._stopped is None:
+            raise ServiceError("server was never started")
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and release the socket."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                stopping = False
+                try:
+                    payload = json.loads(stripped.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                    response = {"ok": False, "error": f"invalid JSON: {error}"}
+                else:
+                    op = payload.get("op") if isinstance(payload, dict) else None
+                    if op in QUERY_OPS:
+                        response = await self._handle_query(payload)
+                    elif op == "shutdown":
+                        response = {"ok": True, "stopping": True}
+                        stopping = True
+                    else:
+                        response = self.service.handle_request(payload)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+                if stopping:
+                    asyncio.get_running_loop().create_task(self.stop())
+                    break
+        except ConnectionResetError:  # client vanished mid-request
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_query(self, payload: dict) -> dict:
+        try:
+            key = self.service.build_query_key(payload)
+        except (ValueError, TypeError) as error:
+            return {"ok": False, "error": str(error)}
+        matches, cached = await self.batcher.submit(key)
+        return self.service._query_response(matches, cached)
+
+
+async def run_service(strings: Iterable[str | StringRecord],
+                      config: ServiceConfig = DEFAULT_SERVICE_CONFIG,
+                      *, on_ready: "Callable[[tuple[str, int]], None] | None" = None,
+                      ) -> None:
+    """Build the service, serve until stopped (the CLI ``serve`` backend).
+
+    ``on_ready`` is called with the bound ``(host, port)`` once the socket
+    is listening — the hook the CLI uses to announce the actual port when
+    serving on ``port=0``.
+    """
+    service = SimilarityService(strings, config)
+    server = SimilarityServer(service)
+    address = await server.start()
+    if on_ready is not None:
+        on_ready(address)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+
+
+class BackgroundServer:
+    """Run a similarity server in a daemon thread (sync-world harness).
+
+    Used by the CLI smoke script and the synchronous-client tests::
+
+        with BackgroundServer(["vldb", "pvldb"], config) as (host, port):
+            with ServiceClient(host, port) as client:
+                client.search("vldb", tau=1)
+
+    The context manager guarantees the socket is bound before the body
+    runs and the server thread is joined on exit.
+    """
+
+    def __init__(self, strings: Iterable[str | StringRecord] = (),
+                 config: ServiceConfig | None = None) -> None:
+        if config is None:
+            config = ServiceConfig(port=0)
+        self.config = config
+        self._strings = list(strings)
+        self._ready = threading.Event()
+        self._address: list[tuple[str, int]] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: SimilarityServer | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        service = SimilarityService(self._strings, self.config)
+        self._server = SimilarityServer(service)
+        address = await self._server.start()
+        self._address.append(address)
+        self._ready.set()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self._server.stop()
+
+    @property
+    def service(self) -> SimilarityService | None:
+        """The underlying service (for white-box assertions in tests)."""
+        return self._server.service if self._server is not None else None
+
+    def __enter__(self) -> tuple[str, int]:
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise ServiceError("background server failed to start within 10s")
+        return self._address[0]
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._loop is not None and self._server is not None:
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._server.stop(), self._loop).result(timeout=10)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout=10)

@@ -152,6 +152,61 @@ def captured_markdown_header(output: str) -> bool:
     return output.lstrip().startswith("| dataset")
 
 
+class TestServeAndQuery:
+    def test_query_against_running_server(self, capsys):
+        from repro.config import ServiceConfig
+        from repro.service import BackgroundServer
+
+        with BackgroundServer(["vldb", "pvldb", "sigmod"],
+                              ServiceConfig(port=0, max_tau=2)) as (host, port):
+            assert main(["query", "vldb", "--tau", "1",
+                         "--host", host, "--port", str(port)]) == 0
+            captured = capsys.readouterr()
+            assert "0\t0\tvldb" in captured.out
+            assert "1\t1\tpvldb" in captured.out
+            assert "matches=2" in captured.err
+
+            assert main(["query", "sigmod", "--top-k", "1",
+                         "--host", host, "--port", str(port)]) == 0
+            assert capsys.readouterr().out.strip() == "2\t0\tsigmod"
+
+    def test_query_unreachable_server_reports_error(self, capsys):
+        # Port 1 is never listening on a test box.
+        code = main(["query", "vldb", "--host", "127.0.0.1", "--port", "1"])
+        assert code == 1
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_serve_wires_flags_into_config(self, strings_file, monkeypatch,
+                                           capsys):
+        import repro.cli as cli
+
+        captured_args = {}
+
+        async def fake_run_service(strings, config, *, on_ready=None):
+            captured_args["strings"] = list(strings)
+            captured_args["config"] = config
+            if on_ready is not None:
+                on_ready((config.host, 54321))
+
+        monkeypatch.setattr("repro.service.server.run_service",
+                            fake_run_service)
+        assert cli.main(["serve", str(strings_file), "--tau", "1",
+                         "--port", "0", "--cache-capacity", "16",
+                         "--compact-interval", "8", "--limit", "3"]) == 0
+        config = captured_args["config"]
+        assert config.max_tau == 1
+        assert config.port == 0
+        assert config.cache_capacity == 16
+        assert config.compact_interval == 8
+        assert len(captured_args["strings"]) == 3
+        assert "serving 3 strings" in capsys.readouterr().err
+
+    def test_serve_missing_file_reports_error(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "nope.txt")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestParser:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

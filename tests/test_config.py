@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.config import (DEFAULT_CONFIG, JoinConfig, PartitionStrategy,
-                          SelectionMethod, VerificationMethod, validate_threshold)
+from repro.config import (DEFAULT_CONFIG, DEFAULT_SERVICE_CONFIG, JoinConfig,
+                          PartitionStrategy, SelectionMethod, ServiceConfig,
+                          VerificationMethod, validate_threshold)
 from repro.exceptions import ConfigurationError, InvalidThresholdError
 
 
@@ -69,6 +70,37 @@ class TestJoinConfig:
         config = JoinConfig.from_names(workers=4, chunk_size=128)
         assert config.workers == 4
         assert config.chunk_size == 128
+
+
+class TestServiceConfig:
+    def test_defaults(self):
+        config = ServiceConfig()
+        assert config.host == "127.0.0.1"
+        assert config.port == 8765
+        assert config.max_tau == 2
+        assert config.cache_capacity == 1024
+        assert DEFAULT_SERVICE_CONFIG == config
+
+    def test_partition_coerced_from_string(self):
+        assert (ServiceConfig(partition="even").partition
+                is PartitionStrategy.EVEN)
+
+    @pytest.mark.parametrize("field,bad", [
+        ("host", ""), ("host", 80),
+        ("port", -1), ("port", 70000), ("port", True),
+        ("max_tau", -1), ("max_tau", "2"),
+        ("cache_capacity", -5), ("cache_capacity", 1.5),
+        ("max_batch", 0), ("max_batch", True),
+        ("batch_window", -0.1), ("batch_window", "fast"),
+        ("compact_interval", -1),
+    ])
+    def test_invalid_values_rejected(self, field, bad):
+        with pytest.raises((ConfigurationError, InvalidThresholdError)):
+            ServiceConfig(**{field: bad})
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ServiceConfig().port = 1
 
 
 class TestEnums:

@@ -209,10 +209,16 @@ class TestKnobs:
         assert engine.config.workers == 4
         assert engine.config.chunk_size == 9
 
-    def test_concurrent_runs_are_detected(self, monkeypatch):
-        from repro.core import parallel as parallel_module
+    def test_concurrent_runs_in_one_process(self, mixed_strings, serial_result):
+        """Overlapping parallel runs are supported: each gets its own context."""
+        from concurrent.futures import ThreadPoolExecutor
 
-        monkeypatch.setattr(parallel_module, "_STATE", object())
-        with pytest.raises(RuntimeError, match="already active"):
-            ParallelPassJoin(1, workers=2, backend="thread").self_join(
-                ["ab", "abc", "abd"])
+        def run(_):
+            engine = ParallelPassJoin(2, workers=2, chunk_size=9,
+                                      backend="thread")
+            return engine.self_join(mixed_strings)
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            results = list(pool.map(run, range(3)))
+        for result in results:
+            assert result.sorted_pairs() == serial_result.sorted_pairs()

@@ -86,6 +86,54 @@ class TestTopKSearch:
             searcher.search_top_k("abc", k=0)
 
 
+class TestSearchMatchWireFormat:
+    def test_round_trip(self):
+        match = SearchMatch(distance=2, id=17, text="päss-jöin")
+        assert SearchMatch.from_dict(match.to_dict()) == match
+
+    def test_round_trip_through_json(self):
+        import json
+
+        match = SearchMatch(distance=0, id=0, text="vldb")
+        payload = json.loads(json.dumps(match.to_dict()))
+        assert SearchMatch.from_dict(payload) == match
+
+    @pytest.mark.parametrize("payload", [
+        None, [], "match", {}, {"id": 1}, {"distance": 1},
+        {"id": "1", "distance": 0}, {"id": 1, "distance": "0"},
+        {"id": 1, "distance": True}, {"id": 1, "distance": 0, "text": 7},
+    ])
+    def test_malformed_payload_rejected(self, payload):
+        with pytest.raises(ValueError):
+            SearchMatch.from_dict(payload)
+
+    def test_sort_key_is_distance_then_id(self):
+        matches = [SearchMatch(1, 9), SearchMatch(0, 5), SearchMatch(1, 2)]
+        assert sorted(matches, key=SearchMatch.sort_key) == [
+            SearchMatch(0, 5), SearchMatch(1, 2), SearchMatch(1, 9)]
+
+
+class TestDeterministicTieBreaking:
+    def test_top_k_ties_broken_by_id(self):
+        # Four strings all at distance 1 from the query; k=2 must take the
+        # two smallest ids, independent of build order.
+        strings = ["abcx", "abcy", "abcz", "abcw"]
+        searcher = PassJoinSearcher(strings, max_tau=2)
+        matches = searcher.search_top_k("abc", k=2)
+        assert [(m.distance, m.id) for m in matches] == [(1, 0), (1, 1)]
+
+    def test_top_k_is_stable_across_permuted_builds(self):
+        from repro.types import StringRecord
+
+        records = [StringRecord(i, text) for i, text in
+                   enumerate(["abcx", "abcy", "abcz", "abcw", "abc"])]
+        forward = PassJoinSearcher(records, max_tau=2)
+        backward = PassJoinSearcher(list(reversed(records)), max_tau=2)
+        for k in (1, 2, 3, 5):
+            assert (forward.search_top_k("abc", k)
+                    == backward.search_top_k("abc", k))
+
+
 class TestBatchHelpers:
     def test_search_all(self):
         results = search_all(["vldb", "icde", "edbt"], ["vldbj", "icdm"], tau=1)

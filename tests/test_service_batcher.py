@@ -1,0 +1,97 @@
+"""Tests for the request batcher (coalescing concurrent lookups)."""
+
+import asyncio
+
+import pytest
+
+from repro.service import RequestBatcher
+
+
+class Recorder:
+    """An execute hook that records every batch it is handed."""
+
+    def __init__(self, fail=False):
+        self.batches = []
+        self.fail = fail
+
+    def __call__(self, keys):
+        self.batches.append(list(keys))
+        if self.fail:
+            raise RuntimeError("index exploded")
+        return [f"result:{key}" for key in keys]
+
+
+def gather(batcher, keys):
+    async def run():
+        return await asyncio.gather(
+            *(batcher.submit(key) for key in keys), return_exceptions=True)
+    return asyncio.run(run())
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_one_batch(self):
+        recorder = Recorder()
+        batcher = RequestBatcher(recorder, max_batch=64, window=0.005)
+        results = gather(batcher, ["a", "b", "a", "a", "b"])
+        assert results == ["result:a", "result:b", "result:a", "result:a",
+                           "result:b"]
+        assert recorder.batches == [["a", "b"]]  # deduped, one execution
+        assert batcher.stats.requests == 5
+        assert batcher.stats.unique_executed == 2
+        assert batcher.stats.coalesced == 3
+        assert batcher.stats.batches == 1
+
+    def test_zero_window_still_coalesces_same_tick_submits(self):
+        recorder = Recorder()
+        batcher = RequestBatcher(recorder, max_batch=64, window=0)
+        results = gather(batcher, ["x", "x", "y"])
+        assert results == ["result:x", "result:x", "result:y"]
+        assert len(recorder.batches) == 1
+
+    def test_max_batch_drains_immediately(self):
+        recorder = Recorder()
+        batcher = RequestBatcher(recorder, max_batch=2, window=10.0)
+
+        async def run():
+            # window is 10s: only the max_batch trigger can drain in time.
+            return await asyncio.wait_for(
+                asyncio.gather(batcher.submit("a"), batcher.submit("b")),
+                timeout=5.0)
+
+        assert asyncio.run(run()) == ["result:a", "result:b"]
+        assert recorder.batches == [["a", "b"]]
+
+    def test_sequential_submits_run_in_separate_batches(self):
+        recorder = Recorder()
+        batcher = RequestBatcher(recorder, window=0)
+
+        async def run():
+            first = await batcher.submit("a")
+            second = await batcher.submit("b")
+            return [first, second]
+
+        assert asyncio.run(run()) == ["result:a", "result:b"]
+        assert recorder.batches == [["a"], ["b"]]
+        assert batcher.stats.batches == 2
+
+    def test_list_results_are_copied_per_waiter(self):
+        batcher = RequestBatcher(lambda keys: [[1, 2] for _ in keys],
+                                 window=0.005)
+        first, second = gather(batcher, ["k", "k"])
+        first.append(3)
+        assert second == [1, 2]
+
+
+class TestFailure:
+    def test_execute_error_reaches_every_waiter(self):
+        recorder = Recorder(fail=True)
+        batcher = RequestBatcher(recorder, window=0.005)
+        results = gather(batcher, ["a", "b"])
+        assert all(isinstance(result, RuntimeError) for result in results)
+        assert batcher.stats.unique_executed == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RequestBatcher(lambda keys: [], max_batch=0)
+        with pytest.raises(ValueError):
+            RequestBatcher(lambda keys: [], window=-1)

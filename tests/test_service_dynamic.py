@@ -1,0 +1,240 @@
+"""Tests for the dynamic (mutable) search index of the serving layer.
+
+The load-bearing property: after ANY interleaving of insert/delete/search,
+results are identical — element for element — to a fresh
+``PassJoinSearcher`` built over the surviving records, which is itself
+oracle-checked against brute-force edit distance.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index import SegmentIndex
+from repro.distance import edit_distance
+from repro.exceptions import InvalidThresholdError
+from repro.search import PassJoinSearcher, SearchMatch
+from repro.service import DynamicSearcher
+from repro.types import StringRecord
+
+from helpers import random_strings
+
+
+def fresh_equivalent(searcher: DynamicSearcher) -> PassJoinSearcher:
+    """Re-build a static searcher over the surviving records."""
+    return PassJoinSearcher(searcher.records, max_tau=searcher.max_tau)
+
+
+class TestBasics:
+    def test_insert_search_delete_cycle(self):
+        searcher = DynamicSearcher(["vldb", "sigmod"], max_tau=1)
+        new_id = searcher.insert("pvldb")
+        assert new_id == 2
+        assert [m.text for m in searcher.search("vldb", tau=1)] == ["vldb", "pvldb"]
+        assert searcher.delete(0) is True
+        assert [m.text for m in searcher.search("vldb", tau=1)] == ["pvldb"]
+
+    def test_delete_missing_returns_false(self):
+        searcher = DynamicSearcher(["abc"], max_tau=1)
+        assert searcher.delete(99) is False
+        assert searcher.delete(0) is True
+        assert searcher.delete(0) is False
+
+    def test_epoch_moves_on_every_mutation(self):
+        searcher = DynamicSearcher(["abc"], max_tau=1)
+        epochs = [searcher.epoch]
+        searcher.insert("abd")
+        epochs.append(searcher.epoch)
+        searcher.delete(0)
+        epochs.append(searcher.epoch)
+        assert epochs == sorted(set(epochs))  # strictly increasing
+
+    def test_searches_do_not_move_the_epoch(self):
+        searcher = DynamicSearcher(["abc", "abd"], max_tau=1)
+        before = searcher.epoch
+        searcher.search("abc", tau=1)
+        searcher.search_top_k("abc", k=1)
+        assert searcher.epoch == before
+
+    def test_caller_chosen_ids(self):
+        searcher = DynamicSearcher(max_tau=1)
+        assert searcher.insert("alpha", id=500) == 500
+        assert searcher.insert("alphb") == 501  # auto ids continue above
+        with pytest.raises(ValueError):
+            searcher.insert("clash", id=500)
+
+    def test_string_records_keep_their_ids(self):
+        searcher = DynamicSearcher([StringRecord(7, "alpha")], max_tau=1)
+        assert searcher.insert(StringRecord(3, "alphb")) == 3
+        assert {m.id for m in searcher.search("alpha", tau=1)} == {7, 3}
+
+    def test_short_strings_are_dynamic_too(self):
+        searcher = DynamicSearcher(["a", "ab", "abcdef"], max_tau=3)
+        assert searcher.delete(0) is True
+        assert {m.text for m in searcher.search("ab", tau=1)} == {"ab"}
+        searcher.insert("b")
+        assert {m.text for m in searcher.search("b", tau=1)} == {"ab", "b"}
+
+    def test_tau_above_max_rejected(self):
+        searcher = DynamicSearcher(["abc"], max_tau=1)
+        with pytest.raises(InvalidThresholdError):
+            searcher.search("abc", tau=2)
+
+    def test_invalid_k(self):
+        searcher = DynamicSearcher(["abc"], max_tau=1)
+        with pytest.raises(ValueError):
+            searcher.search_top_k("abc", k=0)
+
+    def test_len_and_records(self):
+        searcher = DynamicSearcher(["aa", "bb"], max_tau=1)
+        searcher.delete(0)
+        searcher.insert("cc")
+        assert len(searcher) == 2
+        assert [record.text for record in searcher.records] == ["bb", "cc"]
+
+    def test_num_strings_tracks_the_live_collection(self):
+        searcher = DynamicSearcher(["aa", "bb", "cc"], max_tau=1)
+        searcher.delete(0)
+        searcher.delete(99)  # miss: must not change the count
+        searcher.insert("dd")
+        assert searcher.statistics.num_strings == len(searcher) == 3
+
+
+class TestTombstonesAndCompaction:
+    def test_deleted_record_stays_in_index_until_compaction(self):
+        searcher = DynamicSearcher(["abcdef", "abcdeg"], max_tau=1,
+                                   compact_interval=100)
+        searcher.delete(0)
+        assert searcher.tombstone_count == 1
+        assert [m.id for m in searcher.search("abcdef", tau=1)] == [1]
+
+    def test_manual_compaction_purges_postings(self):
+        searcher = DynamicSearcher(["abcdef", "abcdeg", "xyzxyz"], max_tau=1,
+                                   compact_interval=100)
+        searcher.delete(0)
+        searcher.delete(2)
+        assert searcher.compact() == 2
+        assert searcher.tombstone_count == 0
+        fresh = fresh_equivalent(searcher)
+        assert (searcher.statistics.index_entries
+                == fresh.statistics.index_entries)
+        assert [m.id for m in searcher.search("abcdef", tau=1)] == [1]
+
+    def test_auto_compaction_triggers_at_interval(self):
+        strings = [f"string{i:04d}" for i in range(10)]
+        searcher = DynamicSearcher(strings, max_tau=1, compact_interval=3)
+        for record_id in range(4):
+            searcher.delete(record_id)
+        assert searcher.tombstone_count <= 3
+
+    def test_compact_interval_zero_compacts_every_delete(self):
+        searcher = DynamicSearcher(["abcdef", "abcdeg"], max_tau=1,
+                                   compact_interval=0)
+        searcher.delete(0)
+        assert searcher.tombstone_count == 0
+
+    def test_reusing_a_tombstoned_id_purges_the_old_record(self):
+        searcher = DynamicSearcher(["abcdef"], max_tau=1, compact_interval=100)
+        searcher.delete(0)
+        searcher.insert("qrstuv", id=0)
+        assert [m.text for m in searcher.search("abcdef", tau=1)] == []
+        assert [m.text for m in searcher.search("qrstuv", tau=0)] == ["qrstuv"]
+
+    def test_negative_compact_interval_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicSearcher(max_tau=1, compact_interval=-1)
+
+
+class TestSegmentIndexRemove:
+    def test_remove_reverses_add(self):
+        index = SegmentIndex(tau=1)
+        records = [StringRecord(0, "abcdef"), StringRecord(1, "abcdeg")]
+        for record in records:
+            index.add(record)
+        entries_with_both = index.entry_count()
+        assert index.remove(records[0]) == 2  # tau + 1 segments
+        assert index.entry_count() == entries_with_both - 2
+        assert index.current_entry_count == index.entry_count()
+        assert index.current_approximate_bytes == index.approximate_bytes()
+        assert index.records_with_length(6) == 1
+
+    def test_remove_last_record_of_a_length_drops_the_group(self):
+        index = SegmentIndex(tau=1)
+        record = StringRecord(0, "abcdef")
+        index.add(record)
+        index.remove(record)
+        assert not index.has_length(6)
+        assert index.entry_count() == 0
+        assert index.current_entry_count == 0
+        assert index.current_approximate_bytes == 0
+
+    def test_remove_unindexed_record_is_a_noop(self):
+        index = SegmentIndex(tau=2)
+        index.add(StringRecord(0, "abcdef"))
+        before = index.entry_count()
+        assert index.remove(StringRecord(9, "zzzzzz")) == 0
+        assert index.remove(StringRecord(9, "zz")) == 0  # too short
+        assert index.entry_count() == before
+
+
+def apply_ops(ops, max_tau, compact_interval=4):
+    """Drive a DynamicSearcher and a plain dict of survivors in lockstep."""
+    searcher = DynamicSearcher(max_tau=max_tau,
+                               compact_interval=compact_interval)
+    surviving: dict[int, str] = {}
+    for op in ops:
+        if op[0] == "insert":
+            new_id = searcher.insert(op[1])
+            surviving[new_id] = op[1]
+        elif op[0] == "delete":
+            target = op[1] % (max(surviving) + 1) if surviving else 0
+            assert searcher.delete(target) == (target in surviving)
+            surviving.pop(target, None)
+    return searcher, surviving
+
+
+class TestOracle:
+    def test_scripted_interleaving_matches_fresh_rebuild(self):
+        strings = random_strings(60, 2, 12, alphabet="abc", seed=3)
+        searcher = DynamicSearcher(strings[:40], max_tau=2)
+        for record_id in (0, 7, 13, 39):
+            searcher.delete(record_id)
+        for text in strings[40:]:
+            searcher.insert(text)
+        searcher.delete(45)
+        fresh = fresh_equivalent(searcher)
+        for query in random_strings(15, 2, 12, alphabet="abc", seed=4):
+            assert searcher.search(query, tau=2) == fresh.search(query, tau=2)
+            assert (searcher.search_top_k(query, k=3)
+                    == fresh.search_top_k(query, k=3))
+
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.text(alphabet="ab", max_size=8)),
+            st.tuples(st.just("delete"), st.integers(min_value=0, max_value=30)),
+        ), max_size=25),
+        queries=st.lists(st.text(alphabet="ab", max_size=8), min_size=1,
+                         max_size=5),
+        max_tau=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=120, deadline=None)
+    def test_interleaved_ops_match_brute_force(self, ops, queries, max_tau):
+        searcher, surviving = apply_ops(ops, max_tau)
+        for query in queries:
+            expected = sorted(
+                (SearchMatch(edit_distance(text, query), record_id, text)
+                 for record_id, text in surviving.items()
+                 if edit_distance(text, query) <= max_tau),
+                key=SearchMatch.sort_key)
+            assert searcher.search(query) == expected
+
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.text(alphabet="abc", max_size=7)),
+            st.tuples(st.just("delete"), st.integers(min_value=0, max_value=20)),
+        ), max_size=20),
+        query=st.text(alphabet="abc", max_size=7),
+        k=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_top_k_matches_fresh_rebuild(self, ops, query, k):
+        searcher, _ = apply_ops(ops, max_tau=2)
+        fresh = fresh_equivalent(searcher)
+        assert searcher.search_top_k(query, k) == fresh.search_top_k(query, k)
