@@ -1,0 +1,115 @@
+"""Sharded serving tier — queries/sec as the collection is partitioned.
+
+The paper's system is a single-threaded batch join; this benchmark measures
+the sharded serving tier that partitions the live collection across shard
+workers (`repro.service.sharding`).  Two entry points:
+
+* Under pytest-benchmark (the suite's idiom) it runs the
+  ``sharded-throughput`` experiment at ``BENCH_SCALE`` and asserts the
+  correctness criterion: every shard count returns exactly the same total
+  number of matches as the unsharded baseline.  Speedup is *reported*, not
+  asserted — on a 1-CPU container scatter-gather is pure overhead, so the
+  multi-core speedup claim is checked only where cores exist.
+* As a script it runs a larger demonstration::
+
+      PYTHONPATH=src python benchmarks/bench_sharded_service.py \\
+          --size 10000 --tau 2 --queries 1000 --shards 1 2 4
+
+  and exits non-zero if any sharded configuration disagrees with the
+  unsharded result count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+try:  # absent when executed as a plain script (python benchmarks/bench_...py)
+    from .conftest import BENCH_SCALE, record_table
+except ImportError:  # pragma: no cover - script mode
+    BENCH_SCALE, record_table = 0.25, None
+
+from repro.bench.experiments import sharded_throughput
+from repro.bench.harness import available_cpus
+from repro.bench.reporting import format_table
+
+
+def _check_rows(table) -> tuple[list[dict], str | None]:
+    """Return the rows and an error message when any result set diverges."""
+    rows = list(table.rows)
+    baseline = next(row for row in rows if row["shards"] == 1)
+    for row in rows:
+        if row["total_matches"] != baseline["total_matches"]:
+            return rows, (f"shards={row['shards']} returned "
+                          f"{row['total_matches']} matches, unsharded "
+                          f"baseline returned {baseline['total_matches']}")
+    return rows, None
+
+
+def test_sharded_throughput(benchmark):
+    table = benchmark.pedantic(
+        lambda: sharded_throughput(scale=BENCH_SCALE, tau=2,
+                                   shard_counts=(1, 2, 3), backend="thread"),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    rows, error = _check_rows(table)
+    # Exactness is the acceptance bar: sharding must never change answers.
+    assert error is None, error
+    assert all(row["qps"] > 0 for row in rows)
+
+
+def run_sharded_demo(size: int, tau: int, queries: int,
+                     shard_counts: list[int], policy: str,
+                     backend: str) -> int:
+    """Run the workload at ``size`` author strings; print the table.
+
+    Returns 0 when every shard count reproduces the unsharded match count
+    (and, on multi-core machines with the process backend, notes the
+    measured speedup); 1 otherwise.
+    """
+    from repro.bench.experiments import DEFAULT_SIZES
+
+    scale = size / DEFAULT_SIZES["author"]
+    table = sharded_throughput(scale=scale, tau=tau, num_queries=queries,
+                               shard_counts=shard_counts, policy=policy,
+                               backend=backend)
+    print(format_table(table))
+    rows, error = _check_rows(table)
+    if error is not None:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    best = max((row for row in rows if row["shards"] != 1),
+               key=lambda row: row["speedup"], default=None)
+    if best is not None:
+        cpus = available_cpus()
+        print(f"best sharded speedup: {best['speedup']}x at "
+              f"shards={best['shards']} ({cpus} CPU(s) available"
+              f"{'; expect <1x on one core' if cpus == 1 else ''})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=10000,
+                        help="number of synthetic author strings "
+                             "(default 10000)")
+    parser.add_argument("--tau", type=int, default=2,
+                        help="edit-distance threshold (default 2)")
+    parser.add_argument("--queries", type=int, default=1000,
+                        help="workload size (default 1000)")
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4],
+                        help="shard counts to sweep (default 1 2 4)")
+    parser.add_argument("--policy", default="hash",
+                        choices=["hash", "length"],
+                        help="shard placement policy (default hash)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "process", "thread"],
+                        help="shard backend (default auto)")
+    args = parser.parse_args(argv)
+    # sharded_throughput always sweeps the shards=1 baseline first.
+    return run_sharded_demo(args.size, args.tau, args.queries, args.shards,
+                            args.policy, args.backend)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""CI smoke test: start the similarity server, run 3 queries, assert results.
+"""CI smoke test: start the similarity server, run queries, assert results.
 
 Exercises the full serving stack end to end over a real TCP socket — the
 asyncio server, the JSON-lines protocol, the blocking client, the query
-cache, and the dynamic index — in under a second::
+cache, and the dynamic index — in under a second, then repeats the exercise
+against a 2-shard server (hash placement: consecutive ids live on different
+shards, so the near-duplicate searches below are genuinely cross-shard
+scatter-gathers) and requires identical answers::
 
     PYTHONPATH=src python scripts/service_smoke.py
 
@@ -21,6 +24,40 @@ from repro.config import ServiceConfig  # noqa: E402
 from repro.service import BackgroundServer, ServiceClient  # noqa: E402
 
 STRINGS = ["vldb", "pvldb", "sigmod", "sigmmod", "icde", "edbt"]
+
+
+def sharded_smoke() -> None:
+    """Start a 2-shard server; verify a cross-shard query and mutations.
+
+    Pins the in-process thread backend: BackgroundServer hosts the service
+    on a second thread, and forking shard workers from a multi-threaded
+    process (what ``auto`` would do on a multi-core runner) is exactly the
+    fork-with-live-threads pattern CPython warns about.
+    """
+    config = ServiceConfig(port=0, max_tau=2, shards=2, shard_policy="hash",
+                           shard_backend="thread")
+    with BackgroundServer(STRINGS, config) as (host, port):
+        with ServiceClient(host, port) as client:
+            stats = client.stats()
+            assert stats["shards"]["count"] == 2, stats
+            assert sum(stats["shards"]["sizes"]) == len(STRINGS), stats
+
+            # Cross-shard scatter-gather: id 0 lives on shard 0, id 1 on
+            # shard 1; the merged answer must equal the unsharded one.
+            matches = client.search("vldb", tau=1)
+            assert [(m.id, m.distance, m.text) for m in matches] == [
+                (0, 0, "vldb"), (1, 1, "pvldb")], matches
+            assert client.search("vldb", tau=1) == matches  # cached round
+
+            # Mutations route to the owning shard; answers stay exact.
+            new_id = client.insert("vldbx")
+            widened = client.search("vldb", tau=1)
+            assert (new_id, 1, "vldbx") in [
+                (m.id, m.distance, m.text) for m in widened], widened
+            assert client.delete(new_id) is True
+            assert client.search("vldb", tau=1) == matches
+            top = client.top_k("sigmod", 2)
+            assert [(m.distance, m.id) for m in top] == [(0, 2), (1, 3)], top
 
 
 def main() -> int:
@@ -44,9 +81,11 @@ def main() -> int:
             assert [(m.distance, m.id) for m in top] == [(0, 2), (1, 3)], top
             near = client.search("sigmoe", tau=0)
             assert [(m.id, m.text) for m in near] == [(new_id, "sigmoe")], near
+    sharded_smoke()
     print(f"OK: service smoke passed on {host}:{port} "
           f"({stats['queries_served']}+ queries, "
-          f"cache hits={stats['cache']['hits']})")
+          f"cache hits={stats['cache']['hits']}), "
+          f"2-shard cross-shard queries verified")
     return 0
 
 

@@ -432,6 +432,86 @@ def service_throughput(scale: float = 1.0, name: str = "author", tau: int = 2,
 
 
 # ----------------------------------------------------------------------
+# Sharded serving throughput (beyond the paper — the sharded serving tier)
+# ----------------------------------------------------------------------
+def sharded_throughput(scale: float = 1.0, name: str = "author", tau: int = 2,
+                       num_queries: int | None = None,
+                       shard_counts: Sequence[int] = (1, 2, 3),
+                       policy: str = "hash", backend: str = "auto",
+                       seed: int = 7) -> ExperimentTable:
+    """Queries/sec of the serving core as the collection is sharded.
+
+    The same (all-distinct, cache-off) query workload runs against the
+    serving core configured with each shard count in ``shard_counts``;
+    ``shards=1`` is the unsharded :class:`~repro.service.DynamicSearcher`
+    baseline for the ``speedup`` column; it is always swept, first, no
+    matter how ``shard_counts`` is spelled.  Every row must report the same
+    total number of matches — the sharded tier is exact by construction,
+    and the benchmark asserts it.
+
+    Speedup depends on the machine: with the ``process`` backend each shard
+    worker searches a ~``1/N`` slice concurrently on its own core, while on
+    a 1-CPU box (or under the in-process ``thread`` backend) scatter-gather
+    costs are pure overhead and the column documents exactly that.  The
+    table notes record the CPU budget and resolved backend so the numbers
+    are interpretable either way.
+    """
+    import random
+
+    from ..config import ServiceConfig
+    from ..datasets.corruption import apply_random_edits
+    from ..service.server import SimilarityService
+    from ..service.sharding import resolve_shard_backend
+
+    strings = build_datasets(scale, [name])[name]
+    if num_queries is None:
+        num_queries = max(20, int(400 * scale))
+    rng = random.Random(seed)
+    workload = [apply_random_edits(rng.choice(strings), rng.randint(0, tau), rng)
+                for _ in range(num_queries)]
+    keys = [("search", query, tau) for query in workload]
+
+    # The unsharded run is the baseline: always present, always first.
+    shard_counts = (1, *[count for count in shard_counts if count != 1])
+    resolved = resolve_shard_backend(backend)
+    table = ExperimentTable(
+        key="sharded-throughput",
+        title="Sharded serving tier: throughput vs shard count",
+        columns=["dataset", "tau", "queries", "shards", "policy", "backend",
+                 "seconds", "qps", "speedup", "total_matches"],
+        notes=f"{available_cpus()} CPU(s) available, backend resolves to "
+              f"{resolved!r}; cache disabled so every query is a real index "
+              f"pass; on 1 CPU scatter-gather is pure overhead — speedup "
+              f"needs a multi-core runner; " + _SCALE_NOTE,
+    )
+    baseline_seconds: float | None = None
+    for shards in shard_counts:
+        service = SimilarityService(strings, ServiceConfig(
+            max_tau=tau, cache_capacity=0, shards=shards,
+            shard_policy=policy, shard_backend=backend))
+        try:
+            total_matches = 0
+            with Timer() as timer:
+                for key in keys:
+                    matches, _ = service.execute_queries([key])[0]
+                    total_matches += len(matches)
+        finally:
+            service.close()
+        if shards == 1:
+            baseline_seconds = timer.seconds
+        assert baseline_seconds is not None  # shards=1 is swept first
+        table.add_row(dataset=name, tau=tau, queries=num_queries,
+                      shards=shards, policy=policy if shards > 1 else "-",
+                      backend=resolved if shards > 1 else "unsharded",
+                      seconds=round(timer.seconds, 6),
+                      qps=round(num_queries / max(timer.seconds, 1e-9), 1),
+                      speedup=round(baseline_seconds
+                                    / max(timer.seconds, 1e-9), 3),
+                      total_matches=total_matches)
+    return table
+
+
+# ----------------------------------------------------------------------
 # Ablations (beyond the paper's figures)
 # ----------------------------------------------------------------------
 def ablation_partition_strategies(scale: float = 1.0, name: str = "author",
@@ -519,6 +599,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "figure16": fig16_scalability,
     "parallel-scaling": parallel_scaling,
     "service-throughput": service_throughput,
+    "sharded-throughput": sharded_throughput,
     "ablation-partition": ablation_partition_strategies,
     "ablation-verifier": ablation_verifier_kernels,
     "ablation-filter-quality": ablation_filter_quality,

@@ -102,6 +102,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--compact-interval", type=int, default=64,
                        help="tombstones tolerated before index compaction "
                             "(default 64)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard workers to partition the collection "
+                            "across (default 1 = unsharded)")
+    serve.add_argument("--shard-policy", default="hash",
+                       choices=["hash", "length"],
+                       help="record placement: hash of id, or length bands "
+                            "(default hash)")
+    serve.add_argument("--shard-backend", default="auto",
+                       choices=["auto", "process", "thread"],
+                       help="shard execution: fork-spawned processes, "
+                            "in-process, or auto per platform (default auto)")
     serve.add_argument("--limit", type=int,
                        help="read at most this many strings")
 
@@ -197,12 +208,16 @@ def _command_serve(args: argparse.Namespace) -> int:
     strings = load_strings(args.path, limit=args.limit)
     config = ServiceConfig(host=args.host, port=args.port, max_tau=args.tau,
                            cache_capacity=args.cache_capacity,
-                           compact_interval=args.compact_interval)
+                           compact_interval=args.compact_interval,
+                           shards=args.shards, shard_policy=args.shard_policy,
+                           shard_backend=args.shard_backend)
 
     def announce(address: tuple[str, int]) -> None:
+        sharding = ("unsharded" if config.shards == 1 else
+                    f"{config.shards} {config.shard_policy} shards")
         print(f"serving {len(strings)} strings on {address[0]}:{address[1]} "
-              f"(max_tau={config.max_tau}, cache={config.cache_capacity}); "
-              f"Ctrl-C to stop", file=sys.stderr)
+              f"(max_tau={config.max_tau}, cache={config.cache_capacity}, "
+              f"{sharding}); Ctrl-C to stop", file=sys.stderr)
 
     try:
         asyncio.run(run_service(strings, config, on_ready=announce))

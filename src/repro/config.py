@@ -168,6 +168,13 @@ class JoinConfig:
 DEFAULT_CONFIG = JoinConfig()
 
 
+#: Shard placement policies of the sharded serving tier
+#: (:mod:`repro.service.sharding`).
+SHARD_POLICIES = ("hash", "length")
+#: Shard execution backends; ``auto`` resolves per platform at runtime.
+SHARD_BACKENDS = ("auto", "process", "thread")
+
+
 @dataclass(frozen=True, slots=True)
 class ServiceConfig:
     """Tuning knobs for the online serving layer (:mod:`repro.service`).
@@ -198,6 +205,17 @@ class ServiceConfig:
         Number of tombstoned (deleted but still indexed) records the
         dynamic index tolerates before compacting automatically; ``0``
         compacts on every delete.
+    shards:
+        Number of shard workers the collection is partitioned across.
+        ``1`` (default) serves a single unsharded dynamic index; larger
+        values route through a :class:`repro.service.sharding.ShardRouter`.
+    shard_policy:
+        Record placement: ``"hash"`` (by id, uniform) or ``"length"``
+        (length bands — queries only probe intersecting shards).
+    shard_backend:
+        ``"process"`` (fork-spawned shard workers), ``"thread"``
+        (in-process shards), or ``"auto"`` (process on multi-core fork
+        platforms, thread elsewhere).
     """
 
     host: str = "127.0.0.1"
@@ -208,6 +226,9 @@ class ServiceConfig:
     max_batch: int = 64
     batch_window: float = 0.002
     compact_interval: int = 64
+    shards: int = 1
+    shard_policy: str = "hash"
+    shard_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not isinstance(self.partition, PartitionStrategy):
@@ -236,6 +257,18 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"batch_window must be a non-negative number, "
                 f"got {self.batch_window!r}")
+        if (isinstance(self.shards, bool) or not isinstance(self.shards, int)
+                or self.shards < 1):
+            raise ConfigurationError(
+                f"shards must be a positive integer, got {self.shards!r}")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ConfigurationError(
+                f"shard_policy must be one of {SHARD_POLICIES}, "
+                f"got {self.shard_policy!r}")
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ConfigurationError(
+                f"shard_backend must be one of {SHARD_BACKENDS}, "
+                f"got {self.shard_backend!r}")
 
 
 DEFAULT_SERVICE_CONFIG = ServiceConfig()

@@ -16,6 +16,7 @@ has moved on to strings of length ``l``, indices for lengths smaller than
 from __future__ import annotations
 
 import sys
+from bisect import insort
 from typing import Iterable, Sequence
 
 from ..config import PartitionStrategy, validate_threshold
@@ -54,12 +55,19 @@ class SegmentIndex:
     # ------------------------------------------------------------------
     # Building
     # ------------------------------------------------------------------
-    def add(self, record: StringRecord) -> int:
+    def add(self, record: StringRecord, *, keep_sorted: bool = False) -> int:
         """Partition ``record`` and add its segments; return the segment count.
 
         Strings shorter than ``tau + 1`` cannot be partitioned and are not
         indexed (the driver keeps them in a separate short-string pool);
         ``0`` is returned for them.
+
+        The join drivers insert records in canonical (length, text) order, so
+        plain appending keeps every inverted list sorted by the indexed
+        string — the property the share-prefix verifier exploits.  Callers
+        that insert out of order (the dynamic serving index) pass
+        ``keep_sorted=True`` to place each posting at its sorted position
+        instead, preserving that invariant under arbitrary insertions.
         """
         length = record.length
         if not can_partition(length, self.tau):
@@ -73,7 +81,10 @@ class SegmentIndex:
                 per_ordinal[segment.text] = [record]
                 added_bytes += len(segment.text) + 8
             else:
-                postings.append(record)
+                if keep_sorted:
+                    insort(postings, record, key=lambda r: (r.text, r.id))
+                else:
+                    postings.append(record)
                 added_bytes += 8
         self._records_per_length[length] = self._records_per_length.get(length, 0) + 1
         self._segment_count += self.tau + 1

@@ -18,6 +18,10 @@ north star.  Three layers, composable and individually testable:
    server, with :class:`ServiceClient` (blocking) and
    :class:`AsyncServiceClient` (asyncio) counterparts, and
    :class:`BackgroundServer` to host the stack from synchronous code.
+4. **Sharding** — :class:`ShardRouter` partitions the live collection
+   across shard workers (in-process or fork-spawned processes) and
+   scatter-gathers queries with results element-identical to a single
+   :class:`DynamicSearcher`; enabled via ``ServiceConfig(shards=N)``.
 
 Configuration lives in :class:`repro.config.ServiceConfig`; the CLI
 exposes the stack as ``passjoin serve`` / ``passjoin query``.
@@ -30,9 +34,17 @@ from .client import AsyncServiceClient, ServiceClient
 from .dynamic import DynamicSearcher
 from .server import (BackgroundServer, SimilarityServer, SimilarityService,
                      run_service)
+from .sharding import (SHARD_BACKENDS, SHARD_POLICIES, ShardContext,
+                       ShardRouter, make_shard_policy, resolve_shard_backend)
 
 __all__ = [
     "DynamicSearcher",
+    "ShardRouter",
+    "ShardContext",
+    "make_shard_policy",
+    "resolve_shard_backend",
+    "SHARD_POLICIES",
+    "SHARD_BACKENDS",
     "QueryCache",
     "CacheStats",
     "RequestBatcher",

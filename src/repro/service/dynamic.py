@@ -4,10 +4,13 @@
 :class:`~repro.search.searcher.PassJoinSearcher`: the same segment index and
 filter-and-verify pipeline, but the collection may change between queries.
 
-* :meth:`~DynamicSearcher.insert` partitions the new string and appends its
-  segments to the inverted lists (appending does not disturb correctness:
-  search results are deduplicated by id and sorted by ``(distance, id)``,
-  so posting order never shows through).
+* :meth:`~DynamicSearcher.insert` partitions the new string and places its
+  segments at their *sorted* positions in the inverted lists, so the
+  alphabetical-posting invariant the share-prefix verifier exploits keeps
+  holding under arbitrary insertions (results never depended on posting
+  order — they are deduplicated by id and sorted by ``(distance, id)`` —
+  but the invariant keeps every verifier, present and future, usable on a
+  mutated index).
 * :meth:`~DynamicSearcher.delete` is a **tombstone**: the record's postings
   stay in the index but every search filters its id out, which makes
   deletion O(1).  Once ``compact_interval`` tombstones accumulate,
@@ -40,6 +43,20 @@ from ..search.searcher import SearchMatch
 from ..types import JoinStatistics, StringRecord, as_records
 
 
+def coerce_insert_record(text: str | StringRecord, id: int | None,
+                         next_id: int) -> StringRecord:
+    """Resolve an ``insert(text, id=...)`` call to the record to store.
+
+    Shared by :class:`DynamicSearcher` and the sharded router so the two
+    can never diverge on id semantics: a ready-made record keeps its id
+    unless ``id=`` overrides it; plain text takes ``id=`` or the caller's
+    next auto id (one above the largest ever seen).
+    """
+    if isinstance(text, StringRecord):
+        return text if id is None else StringRecord(id=id, text=text.text)
+    return StringRecord(id=next_id if id is None else id, text=str(text))
+
+
 class DynamicSearcher:
     """Approximate string search over a mutable collection.
 
@@ -47,7 +64,9 @@ class DynamicSearcher:
     ----------
     strings:
         Initial collection (plain strings or
-        :class:`~repro.types.StringRecord` objects with caller-chosen ids).
+        :class:`~repro.types.StringRecord` objects with caller-chosen ids;
+        ids must be unique — a duplicate raises ``ValueError``, as it
+        would leave one record's postings behind as a searchable ghost).
     max_tau:
         Largest edit-distance threshold any query may use.
     partition:
@@ -84,11 +103,19 @@ class DynamicSearcher:
         self._selector = MultiMatchAwareSelector(self.max_tau)
         self._live: dict[int, StringRecord] = {}
         self._short_pool: dict[int, StringRecord] = {}
+        # live text length -> number of live records of that length (lets
+        # top-k widening skip thresholds no live string can possibly meet).
+        self._length_counts: dict[int, int] = {}
         # id -> record still present in the segment index but logically gone.
         self._tombstones: dict[int, StringRecord] = {}
         self._epoch = 0
         self._next_id = 0
         for record in as_records(strings):
+            if record.id in self._live:
+                # A duplicate would leave the loser's postings (and short-
+                # pool/length bookkeeping) behind as a searchable ghost.
+                raise ValueError(
+                    f"duplicate id {record.id} in the initial collection")
             self._insert_record(record)
         self.statistics.num_strings = len(self._live)
 
@@ -100,7 +127,13 @@ class DynamicSearcher:
 
     @property
     def epoch(self) -> int:
-        """Mutation counter: bumped by every insert/delete/compact."""
+        """Mutation counter: bumped by every insert, every delete, and every
+        compaction that physically purges postings.
+
+        A compaction with nothing to purge is a logical no-op (the visible
+        collection is unchanged), so it deliberately leaves the epoch — and
+        therefore every cached query result — intact.
+        """
         return self._epoch
 
     @property
@@ -125,11 +158,7 @@ class DynamicSearcher:
         ``ValueError``; re-using a tombstoned id is allowed (the stale
         postings are purged first so the old record cannot resurface).
         """
-        if isinstance(text, StringRecord):
-            record = text if id is None else StringRecord(id=id, text=text.text)
-        else:
-            record = StringRecord(id=self._next_id if id is None else id,
-                                  text=str(text))
+        record = coerce_insert_record(text, id, self._next_id)
         if record.id in self._live:
             raise ValueError(f"id {record.id} is already in the collection")
         stale = self._tombstones.pop(record.id, None)
@@ -147,6 +176,11 @@ class DynamicSearcher:
             return False
         if self._short_pool.pop(record_id, None) is None:
             self._tombstones[record_id] = record
+        remaining = self._length_counts.get(record.length, 0) - 1
+        if remaining > 0:
+            self._length_counts[record.length] = remaining
+        else:
+            self._length_counts.pop(record.length, None)
         self.statistics.num_strings -= 1
         self._bump()
         return True
@@ -156,23 +190,30 @@ class DynamicSearcher:
 
         After compaction the index holds exactly the postings a fresh build
         over the live records would (posting order aside), so memory does
-        not leak across delete-heavy workloads.
+        not leak across delete-heavy workloads.  A compaction that purges
+        anything bumps :attr:`epoch` — the physical index changed, and
+        downstream caches keyed on the epoch must not outlive it — while a
+        no-op compaction (no tombstones) leaves the epoch untouched.
         """
         purged = len(self._tombstones)
         for record in self._tombstones.values():
             self._index.remove(record)
         self._tombstones.clear()
+        if purged:
+            self._epoch += 1
         self.statistics.index_entries = self._index.current_entry_count
         self.statistics.index_bytes = self._index.current_approximate_bytes
         return purged
 
     def _insert_record(self, record: StringRecord) -> None:
         if can_partition(record.length, self.max_tau):
-            self._index.add(record)
+            self._index.add(record, keep_sorted=True)
             self.statistics.num_indexed_segments += self.max_tau + 1
         else:
             self._short_pool[record.id] = record
         self._live[record.id] = record
+        self._length_counts[record.length] = (
+            self._length_counts.get(record.length, 0) + 1)
         self._next_id = max(self._next_id, record.id + 1)
         self.statistics.index_entries = self._index.current_entry_count
         self.statistics.index_bytes = self._index.current_approximate_bytes
@@ -198,40 +239,74 @@ class DynamicSearcher:
         tau = self.max_tau if tau is None else validate_threshold(tau)
         if tau > self.max_tau:
             raise InvalidThresholdError(tau)
+        found = self._search(query, tau)
+        self.statistics.num_results += len(found)
+        return found
+
+    def _search(self, query: str, tau: int,
+                exclude: "dict[int, SearchMatch] | None" = None,
+                ) -> list[SearchMatch]:
+        """One filter-and-verify pass (validated ``tau``, no result counting).
+
+        ``exclude`` skips record ids whose distance is already known — the
+        top-k widening loop passes its accumulated matches so earlier rounds'
+        hits are never verified again.
+        """
         stats = self.statistics
         verifier = ExtensionVerifier(tau, stats)
         probe = StringRecord(id=-1, text=query)
         tombstones = self._tombstones
+        accept = None
+        if tombstones or exclude:
+            def accept(record: StringRecord) -> bool:
+                if record.id in tombstones:
+                    return False
+                return exclude is None or record.id not in exclude
         matches = probe_record(
             probe, tau=tau, index=self._index,
             short_pool=list(self._short_pool.values()),
             selector=self._selector, verifier=verifier, stats=stats,
-            max_length=len(query) + tau, allow_same_id=True,
-            accept=(None if not tombstones
-                    else lambda record: record.id not in tombstones))
-        found = sorted((SearchMatch(distance, record.id, record.text)
-                        for record, distance in matches),
-                       key=SearchMatch.sort_key)
-        stats.num_results += len(found)
-        return found
+            max_length=len(query) + tau, allow_same_id=True, accept=accept)
+        return sorted((SearchMatch(distance, record.id, record.text)
+                       for record, distance in matches),
+                      key=SearchMatch.sort_key)
+
+    def _any_live_length_within(self, query_length: int, tau: int) -> bool:
+        """True when some live record passes the length filter at ``tau``."""
+        counts = self._length_counts
+        return any(length in counts
+                   for length in range(max(0, query_length - tau),
+                                       query_length + tau + 1))
 
     def search_top_k(self, query: str, k: int,
                      max_tau: int | None = None) -> list[SearchMatch]:
         """Return the ``k`` live strings closest to ``query``.
 
         Same widening strategy and deterministic ``(distance, id)``
-        tie-breaking as :meth:`PassJoinSearcher.search_top_k`.
+        tie-breaking as :meth:`PassJoinSearcher.search_top_k`, but each
+        widening round is incremental: matches found at a smaller threshold
+        carry over (a round at ``tau`` can only add matches at distance
+        exactly ``tau``), rounds that cannot add results — every live string
+        already matched, or no live string passes the length filter at this
+        ``tau`` — are skipped outright, and ``num_results`` counts only the
+        matches actually returned instead of re-counting every round.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         limit = self.max_tau if max_tau is None else min(
             validate_threshold(max_tau), self.max_tau)
-        best: list[SearchMatch] = []
+        found: dict[int, SearchMatch] = {}
+        query_length = len(query)
         for tau in range(0, limit + 1):
-            best = self.search(query, tau)
-            if len(best) >= k:
+            if len(found) >= k or len(found) == len(self._live):
                 break
-        return best[:k]
+            if not self._any_live_length_within(query_length, tau):
+                continue
+            for match in self._search(query, tau, exclude=found):
+                found[match.id] = match
+        best = sorted(found.values(), key=SearchMatch.sort_key)[:k]
+        self.statistics.num_results += len(best)
+        return best
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"DynamicSearcher(live={len(self._live)}, "

@@ -47,6 +47,7 @@ from ..types import StringRecord
 from .batcher import RequestBatcher
 from .cache import QueryCache
 from .dynamic import DynamicSearcher
+from .sharding import ShardRouter
 
 #: Query operations routed through the batcher by the TCP transport.
 QUERY_OPS = ("search", "top-k")
@@ -81,18 +82,38 @@ class SimilarityService:
         Initial collection served by the dynamic index.
     config:
         A :class:`~repro.config.ServiceConfig`; ``max_tau``, ``partition``,
-        ``cache_capacity``, and ``compact_interval`` are consumed here, the
-        transport fields by :class:`SimilarityServer`.
+        ``cache_capacity``, ``compact_interval``, and the ``shards*`` fields
+        are consumed here, the transport fields by :class:`SimilarityServer`.
+
+    With ``config.shards > 1`` the collection is served by a
+    :class:`~repro.service.sharding.ShardRouter` (which duck-types the
+    :class:`DynamicSearcher` surface, so dispatch is identical) and cache
+    keys grow the composite per-shard epoch vector the query depends on —
+    a mutation on one shard makes exactly the queries that probe it miss,
+    instead of invalidating the whole cache.
     """
 
     def __init__(self, strings: Iterable[str | StringRecord] = (),
                  config: ServiceConfig = DEFAULT_SERVICE_CONFIG) -> None:
         self.config = config
-        self.searcher = DynamicSearcher(
-            strings, max_tau=config.max_tau, partition=config.partition,
-            compact_interval=config.compact_interval)
+        if config.shards > 1:
+            self.searcher: DynamicSearcher | ShardRouter = ShardRouter(
+                strings, shards=config.shards, max_tau=config.max_tau,
+                partition=config.partition,
+                compact_interval=config.compact_interval,
+                policy=config.shard_policy, backend=config.shard_backend)
+        else:
+            self.searcher = DynamicSearcher(
+                strings, max_tau=config.max_tau, partition=config.partition,
+                compact_interval=config.compact_interval)
         self.cache = QueryCache(config.cache_capacity)
         self.queries_served = 0
+
+    def close(self) -> None:
+        """Release serving resources (shard worker processes); idempotent."""
+        closer = getattr(self.searcher, "close", None)
+        if closer is not None:
+            closer()
 
     # ------------------------------------------------------------------
     # Query path (used directly and by the batcher)
@@ -125,15 +146,29 @@ class SimilarityService:
         """Answer a batch of validated query keys in one pass.
 
         Returns ``(matches, cached)`` per key.  This is the
-        :class:`~repro.service.batcher.RequestBatcher` execute hook: the
-        epoch is read once per call, so every answer in a batch reflects
-        the same collection snapshot.
+        :class:`~repro.service.batcher.RequestBatcher` execute hook: no
+        mutation can interleave with the loop, so every answer in a batch
+        reflects the same collection snapshot.
+
+        Cache keying depends on the serving backend.  Unsharded, the plain
+        query key is presented together with the scalar epoch and a
+        mutation invalidates the cache wholesale (any insert can change any
+        answer).  Sharded, the key is widened with the **composite epoch
+        vector** of exactly the shards the query probes (a pure function of
+        the query and threshold): a mutation bumps one shard's epoch, so
+        entries depending on that shard simply stop matching and age out of
+        the LRU, while entries over the other shards keep hitting.
         """
+        epoch_token = getattr(self.searcher, "epoch_token", None)
         epoch = self.searcher.epoch
         answers: list[tuple[list[SearchMatch], bool]] = []
         for key in keys:
             self.queries_served += 1
-            cached = self.cache.get(key, epoch)
+            if epoch_token is None:
+                cache_key, cache_epoch = key, epoch
+            else:
+                cache_key, cache_epoch = key + (epoch_token(key),), 0
+            cached = self.cache.get(cache_key, cache_epoch)
             if cached is not None:
                 answers.append((cached, True))
                 continue
@@ -141,7 +176,7 @@ class SimilarityService:
                 matches = self.searcher.search(key[1], key[2])
             else:
                 matches = self.searcher.search_top_k(key[1], key[2], key[3])
-            self.cache.put(key, epoch, matches)
+            self.cache.put(cache_key, cache_epoch, matches)
             answers.append((matches, False))
         return answers
 
@@ -184,7 +219,10 @@ class SimilarityService:
             return {"ok": False,
                     "error": f"unknown op {op!r}; expected one of "
                              f"{', '.join(ALL_OPS)}"}
-        except (ValueError, TypeError) as error:
+        except (ValueError, TypeError, ServiceError) as error:
+            # ServiceError covers serving-infrastructure failures (e.g. a
+            # dead shard worker): the contract is one error response per
+            # bad request, never an exception up through the transport.
             return {"ok": False, "error": str(error)}
 
     def _query_response(self, matches: list[SearchMatch], cached: bool) -> dict:
@@ -193,16 +231,35 @@ class SimilarityService:
 
     def stats(self) -> dict:
         """Service-level counters (the ``stats`` op payload minus ``ok``)."""
-        return {
-            "size": len(self.searcher),
-            "epoch": self.searcher.epoch,
-            "tombstones": self.searcher.tombstone_count,
-            "max_tau": self.searcher.max_tau,
+        searcher = self.searcher
+        if isinstance(searcher, ShardRouter):
+            # One status scatter covers tombstones and statistics; going
+            # through the two properties separately would scatter twice.
+            summary = searcher.status_summary()
+            tombstones = summary["tombstones"]
+            statistics = summary["statistics"]
+        else:
+            tombstones = searcher.tombstone_count
+            statistics = searcher.statistics
+        payload = {
+            "size": len(searcher),
+            "epoch": searcher.epoch,
+            "tombstones": tombstones,
+            "max_tau": searcher.max_tau,
             "queries_served": self.queries_served,
             "cache": self.cache.stats.as_dict(),
-            "index_entries": self.searcher.statistics.index_entries,
-            "index_bytes": self.searcher.statistics.index_bytes,
+            "index_entries": statistics.index_entries,
+            "index_bytes": statistics.index_bytes,
         }
+        if isinstance(searcher, ShardRouter):
+            payload["shards"] = {
+                "count": searcher.num_shards,
+                "policy": searcher.policy.name,
+                "backend": searcher.backend,
+                "sizes": searcher.shard_sizes(),
+                "epoch_vector": list(searcher.epoch_vector),
+            }
+        return payload
 
 
 class SimilarityServer:
@@ -309,7 +366,13 @@ class SimilarityServer:
             key = self.service.build_query_key(payload)
         except (ValueError, TypeError) as error:
             return {"ok": False, "error": str(error)}
-        matches, cached = await self.batcher.submit(key)
+        try:
+            matches, cached = await self.batcher.submit(key)
+        except (ValueError, TypeError, ServiceError) as error:
+            # The batcher forwards execution failures (e.g. a dead shard
+            # worker) to every waiter; answer with an error line instead of
+            # letting the exception tear down the connection.
+            return {"ok": False, "error": str(error)}
         return self.service._query_response(matches, cached)
 
 
@@ -324,14 +387,19 @@ async def run_service(strings: Iterable[str | StringRecord],
     serving on ``port=0``.
     """
     service = SimilarityService(strings, config)
-    server = SimilarityServer(service)
-    address = await server.start()
-    if on_ready is not None:
-        on_ready(address)
+    server: SimilarityServer | None = None
     try:
+        server = SimilarityServer(service)
+        address = await server.start()
+        if on_ready is not None:
+            on_ready(address)
         await server.serve_forever()
     finally:
-        await server.stop()
+        # Entered as soon as the service exists: a failed start() (port in
+        # use) must still shut the shard workers down, not leak them.
+        if server is not None:
+            await server.stop()
+        service.close()
 
 
 class BackgroundServer:
@@ -365,14 +433,17 @@ class BackgroundServer:
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         service = SimilarityService(self._strings, self.config)
-        self._server = SimilarityServer(service)
-        address = await self._server.start()
-        self._address.append(address)
-        self._ready.set()
         try:
+            self._server = SimilarityServer(service)
+            address = await self._server.start()
+            self._address.append(address)
+            self._ready.set()
             await self._server.serve_forever()
         finally:
-            await self._server.stop()
+            # As in run_service: a failed bind must not leak shard workers.
+            if self._server is not None:
+                await self._server.stop()
+            service.close()
 
     @property
     def service(self) -> SimilarityService | None:

@@ -1,0 +1,590 @@
+"""Sharded serving tier: partition the live collection across shard workers.
+
+One :class:`~repro.service.dynamic.DynamicSearcher` runs every index pass on
+a single thread, so a busy server saturates one core.  This module scales
+the serving layer the classic way — partition the collection:
+
+* A **shard policy** maps every record to exactly one of ``N`` shards.
+  ``hash`` places by ``id % N`` (uniform load, every query scatters to all
+  shards); ``length`` places by length band (records within ``max_tau`` of
+  each other's length usually co-locate, so a query only touches the shards
+  whose bands intersect ``[|q| − τ, |q| + τ]`` — and a mutation on one shard
+  leaves queries that never probe it cacheable).
+* Each shard owns a full private :class:`DynamicSearcher` over its records.
+  Shards run either **in-process** (the ``thread`` backend — the calling
+  thread drives each shard directly; the right choice for tests, 1-CPU
+  boxes, and as the scatter-gather reference implementation) or as
+  **fork-spawned worker processes** (the ``process`` backend) that receive
+  their :class:`ShardContext` through fork-time copy-on-write memory — the
+  same "hand the worker an explicit context, pickle nothing" pattern as
+  :class:`repro.core.parallel.WorkerContext` — and serve ops over a pipe.
+* :class:`ShardRouter` scatter-gathers ``search``/``search_top_k`` across
+  the shards a query can touch and merges under the canonical
+  ``(distance, id)`` ordering.  Because the shards partition the id space,
+  the merge needs no deduplication and the result list is **element
+  identical** to a single unsharded :class:`DynamicSearcher` over the same
+  records (property-tested on random interleavings of insert/delete/search).
+  Top-k merges the per-shard top-k lists: any global top-k member must be in
+  its own shard's top-k, so the union provably covers the global answer.
+
+Mutations route to the owning shard and bump only that shard's epoch.  The
+router mirrors the per-shard epochs in :attr:`ShardRouter.epoch_vector`;
+:meth:`ShardRouter.epoch_token` returns the slice of that vector a given
+query key depends on, which the serving core folds into its cache key — a
+mutation on one shard invalidates exactly the cached queries that probe it,
+without dropping (or rebuilding) entries that only touch other shards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..config import (SHARD_BACKENDS, SHARD_POLICIES, PartitionStrategy,
+                      validate_threshold)
+from ..core.parallel import available_workers
+from ..exceptions import ConfigurationError, InvalidThresholdError, ServiceError
+from ..search.searcher import SearchMatch
+from ..types import JoinStatistics, StringRecord, as_records
+from .dynamic import DynamicSearcher, coerce_insert_record
+
+
+def resolve_shard_backend(backend: str) -> str:
+    """Resolve the ``shard_backend`` knob to ``"process"`` or ``"thread"``.
+
+    ``process`` requires the ``fork`` start method (the shard contexts ride
+    into the workers copy-on-write; with ``spawn`` they would be pickled).
+    ``auto`` picks ``process`` only when fork exists, more than one CPU is
+    available — on a 1-CPU box worker processes pay IPC and scheduling
+    costs for pure time-slicing, so in-process shards are strictly better —
+    and the calling process is single-threaded: forking with live threads
+    (e.g. from a :class:`~repro.service.server.BackgroundServer` thread)
+    can deadlock the child on locks the other threads held at fork time,
+    which is why CPython deprecates it.  An explicit ``"process"`` is
+    honoured regardless, for callers who know their threads hold no locks.
+    """
+    if backend not in SHARD_BACKENDS:
+        raise ConfigurationError(
+            f"shard_backend must be one of {SHARD_BACKENDS}, got {backend!r}")
+    fork_available = "fork" in multiprocessing.get_all_start_methods()
+    if backend == "process" and not fork_available:
+        raise ConfigurationError(
+            "shard_backend 'process' requires the fork start method, which "
+            "this platform does not provide; use 'thread' or 'auto'")
+    if backend != "auto":
+        return backend
+    return ("process" if fork_available and available_workers() > 1
+            and threading.active_count() == 1 else "thread")
+
+
+# ----------------------------------------------------------------------
+# Placement policies
+# ----------------------------------------------------------------------
+class HashShardPolicy:
+    """Uniform placement by record id; every query scatters to all shards."""
+
+    name = "hash"
+
+    def __init__(self, shards: int, max_tau: int) -> None:
+        self.shards = shards
+
+    def place(self, record_id: int, length: int) -> int:
+        """Owning shard of a record (by id, lengths ignored)."""
+        return record_id % self.shards
+
+    def probe_shards(self, query_length: int, tau: int) -> tuple[int, ...]:
+        """Shards a query of ``query_length`` at ``tau`` may find matches in."""
+        return tuple(range(self.shards))
+
+
+class LengthShardPolicy:
+    """Length-band placement: co-locate strings of similar length.
+
+    Records are grouped into bands of ``max_tau + 1`` consecutive lengths
+    (the widest spread two strings within ``max_tau`` of each other can
+    have), and bands are dealt round-robin across the shards.  A query at
+    threshold ``tau`` only probes the shards whose bands intersect
+    ``[|q| − τ, |q| + τ]`` — at most ``2`` bands for ``tau ≤ max_tau``, so
+    usually 1–2 shards instead of all of them.
+    """
+
+    name = "length"
+
+    def __init__(self, shards: int, max_tau: int) -> None:
+        self.shards = shards
+        self.band_width = max_tau + 1
+
+    def place(self, record_id: int, length: int) -> int:
+        """Owning shard of a record (by length band, ids ignored)."""
+        return (length // self.band_width) % self.shards
+
+    def probe_shards(self, query_length: int, tau: int) -> tuple[int, ...]:
+        """Shards whose length bands intersect the query's length window."""
+        first = max(0, query_length - tau) // self.band_width
+        last = (query_length + tau) // self.band_width
+        if last - first + 1 >= self.shards:
+            return tuple(range(self.shards))
+        return tuple(sorted({band % self.shards
+                             for band in range(first, last + 1)}))
+
+
+def make_shard_policy(name: str, shards: int,
+                      max_tau: int) -> HashShardPolicy | LengthShardPolicy:
+    """Instantiate the policy for ``name`` (``"hash"`` or ``"length"``)."""
+    if name == "hash":
+        return HashShardPolicy(shards, max_tau)
+    if name == "length":
+        return LengthShardPolicy(shards, max_tau)
+    raise ConfigurationError(
+        f"shard_policy must be one of {SHARD_POLICIES}, got {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Shard workers
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class ShardContext:
+    """Everything one shard worker needs to build its private index.
+
+    The sharded analogue of :class:`repro.core.parallel.WorkerContext`: the
+    router builds one context per shard and hands it to the worker — through
+    fork-time copy-on-write memory for process shards (nothing is pickled),
+    as a plain argument for in-process shards.
+    """
+
+    records: list[StringRecord]
+    max_tau: int
+    partition: PartitionStrategy
+    compact_interval: int
+
+    def build(self) -> DynamicSearcher:
+        return DynamicSearcher(self.records, max_tau=self.max_tau,
+                               partition=self.partition,
+                               compact_interval=self.compact_interval)
+
+
+def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
+    """Execute one router op against a shard's searcher (both backends)."""
+    if op == "search":
+        query, tau = args
+        return searcher.search(query, tau)
+    if op == "top-k":
+        query, k, limit = args
+        return searcher.search_top_k(query, k, limit)
+    if op == "insert":
+        return searcher.insert(args)
+    if op == "delete":
+        return searcher.delete(args)
+    if op == "compact":
+        return searcher.compact()
+    if op == "records":
+        return searcher.records
+    if op == "status":
+        return {"size": len(searcher),
+                "tombstones": searcher.tombstone_count,
+                "statistics": searcher.statistics}
+    raise ServiceError(f"unknown shard op {op!r}")
+
+
+class _InProcessShard:
+    """Thread-backend shard: the calling thread drives the searcher directly.
+
+    ``send``/``recv`` mimic the pipe protocol of :class:`_ProcessShard` so
+    the router's scatter-gather code is backend-agnostic; errors are carried
+    to ``recv`` exactly like a pipe reply would carry them.
+    """
+
+    backend = "thread"
+
+    def __init__(self, context: ShardContext) -> None:
+        self._searcher = context.build()
+        self._reply: tuple[str, object, int] | None = None
+
+    def send(self, op: str, args: object) -> None:
+        try:
+            result = _apply_shard_op(self._searcher, op, args)
+        except Exception as error:  # noqa: BLE001 - re-raised by recv()
+            self._reply = ("error", error, self._searcher.epoch)
+        else:
+            self._reply = ("ok", result, self._searcher.epoch)
+
+    def recv(self) -> tuple[object, int]:
+        assert self._reply is not None, "recv() before send()"
+        status, payload, epoch = self._reply
+        self._reply = None
+        if status == "error":
+            raise payload  # type: ignore[misc]
+        return payload, epoch
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker_main(conn, context: ShardContext) -> None:
+    """Process-backend worker loop: build the shard index, serve ops.
+
+    Every reply carries the shard's current epoch so the router's mirror
+    stays exact even when a delete triggers an automatic compaction inside
+    the worker (which moves the epoch twice in one op).
+    """
+    searcher = context.build()
+    try:
+        while True:
+            try:
+                op, args = conn.recv()
+            except (EOFError, OSError):
+                break
+            if op == "close":
+                break
+            try:
+                result = _apply_shard_op(searcher, op, args)
+            except Exception as error:  # noqa: BLE001 - forwarded to router
+                try:
+                    conn.send(("error", error, searcher.epoch))
+                except Exception:  # unpicklable exception object
+                    conn.send(("error", ServiceError(repr(error)),
+                               searcher.epoch))
+            else:
+                conn.send(("ok", result, searcher.epoch))
+    finally:
+        conn.close()
+
+
+class _ProcessShard:
+    """Process-backend shard: a fork-spawned worker serving ops over a pipe."""
+
+    backend = "process"
+
+    def __init__(self, context: ShardContext, mp_context) -> None:
+        self._conn, child_conn = mp_context.Pipe()
+        self._process = mp_context.Process(
+            target=_shard_worker_main, args=(child_conn, context), daemon=True)
+        self._process.start()
+        child_conn.close()
+
+    def send(self, op: str, args: object) -> None:
+        try:
+            self._conn.send((op, args))
+        except (BrokenPipeError, OSError) as error:
+            raise ServiceError(f"shard worker died: {error}") from error
+
+    def recv(self) -> tuple[object, int]:
+        try:
+            status, payload, epoch = self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise ServiceError(f"shard worker died: {error}") from error
+        if status == "error":
+            raise payload  # type: ignore[misc]
+        return payload, epoch
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("close", None))
+        except (BrokenPipeError, OSError):
+            pass
+        self._conn.close()
+        self._process.join(timeout=5)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+class ShardRouter:
+    """Scatter-gather facade over ``N`` shard workers.
+
+    Duck-types the :class:`DynamicSearcher` surface the serving core uses
+    (``search``/``search_top_k``/``insert``/``delete``/``compact``/
+    ``epoch``/``statistics``/``len``), so :class:`SimilarityService` serves
+    a sharded collection through the exact same dispatch code.  Results are
+    element-identical to a single unsharded searcher over the same records.
+
+    Record ids must be unique across the initial collection (auto-numbered
+    plain strings always are); a duplicate raises ``ValueError``, since two
+    live records sharing an id could land on different shards and break the
+    no-deduplication merge.
+
+    Parameters
+    ----------
+    strings:
+        Initial collection, partitioned across the shards by ``policy``.
+    shards:
+        Number of shard workers (>= 1; 1 is a degenerate single shard).
+    max_tau:
+        Largest per-query threshold, forwarded to every shard index.
+    policy:
+        ``"hash"`` (uniform, scatter-all) or ``"length"`` (length bands,
+        queries touch only intersecting shards).
+    backend:
+        ``"thread"`` (in-process), ``"process"`` (fork workers), or
+        ``"auto"`` (process on multi-core fork platforms, thread elsewhere).
+
+    Examples
+    --------
+    >>> router = ShardRouter(["vldb", "pvldb", "icde"], shards=2, max_tau=1,
+    ...                      backend="thread")
+    >>> [m.text for m in router.search("vldb", tau=1)]
+    ['vldb', 'pvldb']
+    >>> router.close()
+    """
+
+    def __init__(self, strings: Iterable[str | StringRecord] = (), *,
+                 shards: int, max_tau: int,
+                 partition: PartitionStrategy = PartitionStrategy.EVEN,
+                 compact_interval: int = 64, policy: str = "hash",
+                 backend: str = "auto") -> None:
+        if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+            raise ConfigurationError(
+                f"shards must be a positive integer, got {shards!r}")
+        self.max_tau = validate_threshold(max_tau)
+        self.num_shards = shards
+        self.policy = make_shard_policy(policy, shards, self.max_tau)
+        self.backend = resolve_shard_backend(backend)
+
+        per_shard: list[list[StringRecord]] = [[] for _ in range(shards)]
+        self._shard_of: dict[int, int] = {}  # live record id -> shard index
+        self._next_id = 0
+        for record in as_records(strings):
+            if record.id in self._shard_of:
+                raise ValueError(
+                    f"duplicate id {record.id} in the initial collection: "
+                    f"sharded results are only exact over unique ids")
+            shard = self.policy.place(record.id, record.length)
+            per_shard[shard].append(record)
+            self._shard_of[record.id] = shard
+            self._next_id = max(self._next_id, record.id + 1)
+
+        contexts = [ShardContext(records=bucket, max_tau=self.max_tau,
+                                 partition=partition,
+                                 compact_interval=compact_interval)
+                    for bucket in per_shard]
+        if self.backend == "process":
+            mp_context = multiprocessing.get_context("fork")
+            self._shards: list = [_ProcessShard(context, mp_context)
+                                  for context in contexts]
+        else:
+            self._shards = [_InProcessShard(context) for context in contexts]
+        self._epochs = [0] * shards
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Scatter-gather plumbing
+    # ------------------------------------------------------------------
+    def _scatter(self, targets: Sequence[int], op: str,
+                 args: object) -> list:
+        """Send one op to every target shard, then collect every reply.
+
+        Both phases run to completion before any error is re-raised: a
+        failed send (dead worker) must not stop the reply of an
+        already-sent shard from being drained — a process shard's pipe
+        must never hold an unread reply, or the next op on that shard
+        would silently read this op's stale answer.  Process shards
+        overlap their work across the scatter; in-process shards execute
+        inline at ``send`` time.
+        """
+        first_error: Exception | None = None
+        sent: set[int] = set()
+        for shard in targets:
+            try:
+                self._shards[shard].send(op, args)
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+            else:
+                sent.add(shard)
+        payloads: list = []
+        for shard in targets:
+            if shard not in sent:
+                payloads.append(None)
+                continue
+            try:
+                payload, epoch = self._shards[shard].recv()
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+                payloads.append(None)
+            else:
+                self._epochs[shard] = epoch
+                payloads.append(payload)
+        if first_error is not None:
+            raise first_error
+        return payloads
+
+    def _call(self, shard: int, op: str, args: object) -> object:
+        return self._scatter((shard,), op, args)[0]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    @property
+    def epoch(self) -> int:
+        """Scalar mutation counter: the sum of the per-shard epochs.
+
+        Monotone (each shard epoch only grows) and moved by every mutation,
+        so it serves the wire protocol's ``epoch`` field; cache keys use the
+        finer-grained :meth:`epoch_token` instead.
+        """
+        return sum(self._epochs)
+
+    @property
+    def epoch_vector(self) -> tuple[int, ...]:
+        """Per-shard mutation counters, in shard order."""
+        return tuple(self._epochs)
+
+    def epoch_token(self, key: tuple) -> tuple[int, ...]:
+        """Epochs of the shards a query key depends on (the cache key part).
+
+        ``key`` is a serving-core query key — ``("search", query, tau)`` or
+        ``("top-k", query, k, limit)``.  The shard set is a pure function of
+        the query and threshold, so the token needs only the epochs, in
+        shard order: a mutation on any probed shard changes the token (and
+        thereby misses the cache), while mutations on unrelated shards leave
+        it — and every cached answer that only probes other shards — intact.
+        """
+        tau = key[2] if key[0] == "search" else key[3]
+        targets = self.policy.probe_shards(len(key[1]), tau)
+        return tuple(self._epochs[shard] for shard in targets)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Deleted records still physically present across all shards."""
+        return self.status_summary()["tombstones"]
+
+    @property
+    def records(self) -> list[StringRecord]:
+        """The live records across all shards, ordered by id (a snapshot)."""
+        gathered = self._scatter(range(self.num_shards), "records", None)
+        merged = [record for bucket in gathered for record in bucket]
+        return sorted(merged, key=lambda record: record.id)
+
+    @property
+    def statistics(self) -> JoinStatistics:
+        """Aggregated per-shard :class:`JoinStatistics` (computed on demand)."""
+        return self.status_summary()["statistics"]
+
+    def shard_status(self) -> list[dict]:
+        """Per-shard ``{"size", "tombstones", "statistics"}`` snapshots."""
+        return self._scatter(range(self.num_shards), "status", None)
+
+    def status_summary(self) -> dict:
+        """Fleet-wide tombstone count and merged statistics in one scatter.
+
+        The single aggregation point over :meth:`shard_status` — callers
+        needing both values (the service ``stats`` op) pay one round of
+        shard IPC instead of one per property.
+        """
+        tombstones = 0
+        merged = JoinStatistics()
+        for status in self.shard_status():
+            tombstones += status["tombstones"]
+            merged = merged.merge(status["statistics"])
+        return {"tombstones": tombstones, "statistics": merged}
+
+    def shard_sizes(self) -> list[int]:
+        """Number of live records per shard (placement balance check)."""
+        sizes = [0] * self.num_shards
+        for shard in self._shard_of.values():
+            sizes[shard] += 1
+        return sizes
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, text: str | StringRecord, *, id: int | None = None) -> int:
+        """Add one string to its owning shard; return its id.
+
+        Same id semantics as :meth:`DynamicSearcher.insert`: auto-assigned
+        one above the largest ever seen unless given, inserting a live id
+        raises ``ValueError``, re-using a tombstoned id is allowed.
+        """
+        record = coerce_insert_record(text, id, self._next_id)
+        if record.id in self._shard_of:
+            raise ValueError(f"id {record.id} is already in the collection")
+        shard = self.policy.place(record.id, record.length)
+        self._call(shard, "insert", record)
+        self._shard_of[record.id] = shard
+        self._next_id = max(self._next_id, record.id + 1)
+        return record.id
+
+    def delete(self, record_id: int) -> bool:
+        """Tombstone one record on its owning shard; False when not live."""
+        shard = self._shard_of.get(record_id)
+        if shard is None:
+            return False
+        deleted = self._call(shard, "delete", record_id)
+        if deleted:
+            del self._shard_of[record_id]
+        return bool(deleted)
+
+    def compact(self) -> int:
+        """Compact every shard; return the total number of purged postings."""
+        return sum(self._scatter(range(self.num_shards), "compact", None))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
+        """Scatter a threshold search, merge under ``(distance, id)``.
+
+        The shards partition the id space, so concatenating the per-shard
+        result lists loses nothing and duplicates nothing; the merged list
+        is element-identical to an unsharded :class:`DynamicSearcher`.
+        """
+        tau = self.max_tau if tau is None else validate_threshold(tau)
+        if tau > self.max_tau:
+            raise InvalidThresholdError(tau)
+        targets = self.policy.probe_shards(len(query), tau)
+        gathered = self._scatter(targets, "search", (query, tau))
+        merged = [match for bucket in gathered for match in bucket]
+        merged.sort(key=SearchMatch.sort_key)
+        return merged
+
+    def search_top_k(self, query: str, k: int,
+                     max_tau: int | None = None) -> list[SearchMatch]:
+        """Merge the per-shard top-k lists into the global top-k.
+
+        Exact by a standard argument: if a match is among the global k
+        closest, fewer than k matches beat it anywhere — so fewer than k
+        beat it in its own shard, and it appears in that shard's local
+        top-k.  The union of the local top-k lists therefore contains the
+        global top-k, and the canonical ``(distance, id)`` sort makes the
+        selection deterministic and identical to the unsharded searcher.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        limit = self.max_tau if max_tau is None else min(
+            validate_threshold(max_tau), self.max_tau)
+        targets = self.policy.probe_shards(len(query), limit)
+        gathered = self._scatter(targets, "top-k", (query, k, limit))
+        merged = [match for bucket in gathered for match in bucket]
+        merged.sort(key=SearchMatch.sort_key)
+        return merged[:k]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the shard workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardRouter(shards={self.num_shards}, "
+                f"policy={self.policy.name!r}, backend={self.backend!r}, "
+                f"live={len(self)}, max_tau={self.max_tau})")

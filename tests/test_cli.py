@@ -192,14 +192,21 @@ class TestServeAndQuery:
                             fake_run_service)
         assert cli.main(["serve", str(strings_file), "--tau", "1",
                          "--port", "0", "--cache-capacity", "16",
-                         "--compact-interval", "8", "--limit", "3"]) == 0
+                         "--compact-interval", "8", "--limit", "3",
+                         "--shards", "2", "--shard-policy", "length",
+                         "--shard-backend", "thread"]) == 0
         config = captured_args["config"]
         assert config.max_tau == 1
         assert config.port == 0
         assert config.cache_capacity == 16
         assert config.compact_interval == 8
+        assert config.shards == 2
+        assert config.shard_policy == "length"
+        assert config.shard_backend == "thread"
         assert len(captured_args["strings"]) == 3
-        assert "serving 3 strings" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "serving 3 strings" in err
+        assert "2 length shards" in err
 
     def test_serve_missing_file_reports_error(self, tmp_path, capsys):
         code = main(["serve", str(tmp_path / "nope.txt")])

@@ -93,10 +93,25 @@ class TestServiceConfig:
         ("max_batch", 0), ("max_batch", True),
         ("batch_window", -0.1), ("batch_window", "fast"),
         ("compact_interval", -1),
+        ("shards", 0), ("shards", True), ("shards", 1.5),
+        ("shard_policy", "modulo"), ("shard_policy", 3),
+        ("shard_backend", "forkserver"),
     ])
     def test_invalid_values_rejected(self, field, bad):
         with pytest.raises((ConfigurationError, InvalidThresholdError)):
             ServiceConfig(**{field: bad})
+
+    def test_sharding_defaults_are_unsharded(self):
+        config = ServiceConfig()
+        assert config.shards == 1
+        assert config.shard_policy == "hash"
+        assert config.shard_backend == "auto"
+
+    def test_sharding_fields_accepted(self):
+        config = ServiceConfig(shards=4, shard_policy="length",
+                               shard_backend="thread")
+        assert (config.shards, config.shard_policy,
+                config.shard_backend) == (4, "length", "thread")
 
     def test_frozen(self):
         with pytest.raises(AttributeError):

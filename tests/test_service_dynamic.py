@@ -6,15 +6,19 @@ results are identical — element for element — to a fresh
 oracle-checked against brute-force edit distance.
 """
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.engine import probe_record
 from repro.core.index import SegmentIndex
+from repro.core.verify import make_verifier
 from repro.distance import edit_distance
 from repro.exceptions import InvalidThresholdError
 from repro.search import PassJoinSearcher, SearchMatch
 from repro.service import DynamicSearcher
-from repro.types import StringRecord
+from repro.types import JoinStatistics, StringRecord
 
 from helpers import random_strings
 
@@ -66,6 +70,13 @@ class TestBasics:
         searcher = DynamicSearcher([StringRecord(7, "alpha")], max_tau=1)
         assert searcher.insert(StringRecord(3, "alphb")) == 3
         assert {m.id for m in searcher.search("alpha", tau=1)} == {7, 3}
+
+    def test_duplicate_initial_ids_rejected(self):
+        # The loser of a duplicate would linger as a searchable ghost in
+        # the index/short pool; reject it up front, like the shard router.
+        with pytest.raises(ValueError):
+            DynamicSearcher([StringRecord(0, "ab"), StringRecord(0, "abcdef")],
+                            max_tau=1)
 
     def test_short_strings_are_dynamic_too(self):
         searcher = DynamicSearcher(["a", "ab", "abcdef"], max_tau=3)
@@ -142,6 +153,114 @@ class TestTombstonesAndCompaction:
     def test_negative_compact_interval_rejected(self):
         with pytest.raises(ValueError):
             DynamicSearcher(max_tau=1, compact_interval=-1)
+
+    def test_compact_that_purges_bumps_the_epoch(self):
+        # Regression: compact() used to leave the epoch untouched, letting
+        # the query cache outlive a physical index change.
+        searcher = DynamicSearcher(["abcdef", "abcdeg"], max_tau=1,
+                                   compact_interval=100)
+        searcher.delete(0)
+        before = searcher.epoch
+        assert searcher.compact() == 1
+        assert searcher.epoch == before + 1
+
+    def test_noop_compact_leaves_the_epoch(self):
+        searcher = DynamicSearcher(["abcdef"], max_tau=1)
+        before = searcher.epoch
+        assert searcher.compact() == 0
+        assert searcher.epoch == before
+
+
+def _probe_with_verifier(searcher: DynamicSearcher, query: str, tau: int,
+                         method: str) -> list[tuple[int, int]]:
+    """Run the search pipeline over the dynamic index with a chosen verifier."""
+    stats = JoinStatistics()
+    verifier = make_verifier(method, tau, stats)
+    tombstones = searcher._tombstones
+    matches = probe_record(
+        StringRecord(id=-1, text=query), tau=tau, index=searcher._index,
+        short_pool=list(searcher._short_pool.values()),
+        selector=searcher._selector, verifier=verifier, stats=stats,
+        max_length=len(query) + tau, allow_same_id=True,
+        accept=(None if not tombstones
+                else lambda record: record.id not in tombstones))
+    return sorted((record.id, distance) for record, distance in matches)
+
+
+class TestSortedPostingInvariant:
+    def _mutated_searcher(self) -> DynamicSearcher:
+        strings = random_strings(80, 4, 12, alphabet="abc", seed=13)
+        rng = random.Random(13)
+        rng.shuffle(strings)
+        searcher = DynamicSearcher(max_tau=2, compact_interval=100)
+        for text in strings:
+            searcher.insert(text)
+        for record_id in (3, 11, 42, 60):
+            searcher.delete(record_id)
+        return searcher
+
+    def test_inverted_lists_stay_sorted_under_out_of_order_inserts(self):
+        # Regression: insert() used to append, breaking the alphabetical
+        # posting order the share-prefix verifier exploits.
+        searcher = self._mutated_searcher()
+        searcher.compact()
+        lists_checked = 0
+        for per_length in searcher._index._indices.values():
+            for per_ordinal in per_length.values():
+                for postings in per_ordinal.values():
+                    keys = [(record.text, record.id) for record in postings]
+                    assert keys == sorted(keys)
+                    lists_checked += 1
+        assert lists_checked > 0
+
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_share_prefix_matches_extension_on_mutated_index(self, tau):
+        searcher = self._mutated_searcher()
+        for query in random_strings(10, 4, 12, alphabet="abc", seed=14):
+            share = _probe_with_verifier(searcher, query, tau, "share-prefix")
+            extension = _probe_with_verifier(searcher, query, tau, "extension")
+            assert share == extension
+
+
+class TestTopKWidening:
+    def test_num_results_counted_once(self):
+        # Regression: every widening round used to re-count its matches.
+        searcher = DynamicSearcher(["abcd", "abce"], max_tau=2)
+        before = searcher.statistics.num_results
+        result = searcher.search_top_k("abcd", k=5)
+        assert [m.text for m in result] == ["abcd", "abce"]
+        assert searcher.statistics.num_results == before + 2
+
+    def test_skips_taus_outside_every_live_length(self):
+        searcher = DynamicSearcher(["abcdefgh"], max_tau=2)
+        probes_before = searcher.statistics.num_index_probes
+        assert searcher.search_top_k("x", k=1) == []
+        assert searcher.statistics.num_index_probes == probes_before
+        assert searcher.statistics.num_verifications == 0
+
+    def test_stops_widening_once_every_live_record_matched(self):
+        searcher = DynamicSearcher(["aaaa"], max_tau=2)
+        fresh = DynamicSearcher(["aaaa"], max_tau=2)
+        result = searcher.search_top_k("aaaa", k=3)
+        assert result == fresh.search("aaaa", tau=0)
+        # Only the tau=0 round ran: identical selection work to one search.
+        assert (searcher.statistics.num_selected_substrings
+                == fresh.statistics.num_selected_substrings)
+
+    def test_widening_does_not_reverify_earlier_hits(self):
+        strings = ["abcd", "abce", "abff", "azzz"]
+        searcher = DynamicSearcher(strings, max_tau=2)
+        searcher.search_top_k("abcd", k=len(strings))
+        widened = searcher.statistics.num_verifications
+        # An upper bound witness: one full search at the final threshold
+        # verifies every candidate once; incremental widening may verify a
+        # record at most once across all rounds, so it can at worst match
+        # the per-round sum of candidates *excluding* earlier hits.
+        oracle = DynamicSearcher(strings, max_tau=2)
+        oracle.search("abcd", 0)
+        oracle.search("abcd", 1)
+        oracle.search("abcd", 2)
+        assert widened <= oracle.statistics.num_verifications
 
 
 class TestSegmentIndexRemove:

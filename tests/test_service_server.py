@@ -89,6 +89,23 @@ class TestDispatch:
         stats = self.service.handle_request({"op": "stats"})
         assert stats["size"] == len(STRINGS)
         assert "cache" in stats and "epoch" in stats
+        assert "shards" not in stats  # unsharded service
+
+    def test_compact_op_invalidates_cached_queries(self):
+        # Regression for the epoch contract: a compaction that purges
+        # tombstones is a physical index change and must bump the epoch,
+        # so cached answers cannot outlive it.
+        request = {"op": "search", "query": "vldb", "tau": 1}
+        deleted = self.service.handle_request({"op": "delete", "id": 4})
+        assert deleted["deleted"] is True
+        first = self.service.handle_request(request)
+        assert self.service.handle_request(request)["cached"] is True
+        compacted = self.service.handle_request({"op": "compact"})
+        assert compacted["purged"] == 1
+        after = self.service.handle_request(request)
+        assert after["cached"] is False
+        assert after["matches"] == first["matches"]  # same answer, re-proved
+        assert after["epoch"] > first["epoch"]
 
 
 class TestSyncClientEndToEnd:
