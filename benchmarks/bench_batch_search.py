@@ -1,0 +1,108 @@
+"""Batch-probe executor — batched vs sequential search, columnar memory.
+
+The paper's system answers one probe at a time; this benchmark measures the
+batch executor that amortises per-query substring-selection work across a
+whole batch (and probes duplicate queries once), plus the columnar record
+store's memory win over the pre-columnar object-list index layout.  Two
+entry points:
+
+* Under pytest-benchmark (the suite's idiom) it runs the ``batch-search``
+  experiment at ``BENCH_SCALE`` and asserts the acceptance criteria:
+  element-identical results (the experiment itself raises on mismatch),
+  >= 1.3x batched throughput on the repeated workload, and a columnar
+  index footprint below the object-list layout.
+* As a script it runs the acceptance-sized demonstration::
+
+      PYTHONPATH=src python benchmarks/bench_batch_search.py \\
+          --size 2000 --tau 2 --queries 512 --batch 64
+
+  and exits non-zero if any bar is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+try:  # absent when executed as a plain script (python benchmarks/bench_...py)
+    from .conftest import BENCH_SCALE, record_table
+except ImportError:  # pragma: no cover - script mode
+    BENCH_SCALE, record_table = 0.25, None
+
+from repro.bench.experiments import batch_search
+from repro.bench.reporting import format_table
+
+#: Acceptance bar: batched must reach this multiple of sequential qps on
+#: the 64-query / 10%-distinct workload.
+SPEEDUP_TARGET = 1.3
+
+
+def _check_rows(table) -> tuple[dict, dict]:
+    rows = {row["mode"]: row for row in table.rows}
+    return rows["sequential"], rows["batch"]
+
+
+def _verify(table, *, strict_speedup: bool = True) -> list[str]:
+    """Return the list of failed acceptance criteria (empty when green)."""
+    sequential, batch = _check_rows(table)
+    failures = []
+    if batch["total_matches"] != sequential["total_matches"]:
+        failures.append("batched and sequential runs disagree on the matches")
+    if strict_speedup and batch["speedup"] < SPEEDUP_TARGET:
+        failures.append(f"batch reached only {batch['speedup']}x "
+                        f"(target: >= {SPEEDUP_TARGET}x)")
+    if batch["index_bytes"] >= batch["object_index_bytes"]:
+        failures.append(f"columnar index ({batch['index_bytes']} B) is not "
+                        f"below the object layout "
+                        f"({batch['object_index_bytes']} B)")
+    return failures
+
+
+def test_batch_search(benchmark):
+    table = benchmark.pedantic(
+        lambda: batch_search(scale=BENCH_SCALE, tau=2),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    assert not _verify(table), _verify(table)
+
+
+def run_batch_demo(size: int, tau: int, queries: int, batch_size: int,
+                   distinct_fraction: float, seed: int = 7) -> int:
+    """Run the workload at ``size`` author strings, print the table.
+
+    Returns 0 when batched search beat the 1.3x bar with identical results
+    and the columnar index undercuts the object layout; 1 otherwise.
+    """
+    from repro.bench.experiments import DEFAULT_SIZES
+
+    scale = size / DEFAULT_SIZES["author"]
+    table = batch_search(scale=scale, tau=tau, num_queries=queries,
+                         batch_size=batch_size,
+                         distinct_fraction=distinct_fraction, seed=seed)
+    print(format_table(table))
+    failures = _verify(table)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=2000,
+                        help="number of synthetic author strings "
+                             "(default 2000)")
+    parser.add_argument("--tau", type=int, default=2,
+                        help="edit-distance threshold (default 2)")
+    parser.add_argument("--queries", type=int, default=512,
+                        help="workload size (default 512)")
+    parser.add_argument("--batch", type=int, default=64,
+                        help="queries per search_many batch (default 64)")
+    parser.add_argument("--distinct", type=float, default=0.1,
+                        help="fraction of distinct queries (default 0.1)")
+    args = parser.parse_args(argv)
+    return run_batch_demo(args.size, args.tau, args.queries, args.batch,
+                          args.distinct)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

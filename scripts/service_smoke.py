@@ -20,10 +20,39 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+import tempfile  # noqa: E402
+
+from repro.cli import main as cli_main  # noqa: E402
 from repro.config import ServiceConfig  # noqa: E402
 from repro.service import BackgroundServer, ServiceClient  # noqa: E402
 
 STRINGS = ["vldb", "pvldb", "sigmod", "sigmmod", "icde", "edbt"]
+
+
+def batch_smoke(client: ServiceClient, host: str, port: int) -> None:
+    """Exercise search-batch over the wire and the CLI ``query --file`` path."""
+    queries = ["vldb", "sigmod", "vldb", "nosuchstring"]
+    batched = client.search_batch(queries, tau=1)
+    assert batched == [client.search(query, tau=1) for query in queries], batched
+    assert [m.text for m in batched[0]] == ["vldb", "pvldb"], batched
+
+    # Tombstoned records hold their store rows until compaction purges
+    # them; after compacting, the memory figures match the live collection.
+    client.compact()
+    stats = client.stats()
+    assert stats["index"]["records"] == len(STRINGS), stats
+    assert stats["index"]["approximate_bytes"] > 0, stats
+
+    with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                     delete=False) as handle:
+        handle.write("\n".join(queries) + "\n")
+        path = handle.name
+    try:
+        code = cli_main(["query", "--file", path, "--tau", "1",
+                         "--host", host, "--port", str(port)])
+        assert code == 0, f"query --file exited {code}"
+    finally:
+        Path(path).unlink()
 
 
 def sharded_smoke() -> None:
@@ -41,6 +70,9 @@ def sharded_smoke() -> None:
             stats = client.stats()
             assert stats["shards"]["count"] == 2, stats
             assert sum(stats["shards"]["sizes"]) == len(STRINGS), stats
+            assert len(stats["shards"]["memory"]) == 2, stats
+            assert stats["index"]["records"] == sum(
+                shard["records"] for shard in stats["shards"]["memory"]), stats
 
             # Cross-shard scatter-gather: id 0 lives on shard 0, id 1 on
             # shard 1; the merged answer must equal the unsharded one.
@@ -48,6 +80,11 @@ def sharded_smoke() -> None:
             assert [(m.id, m.distance, m.text) for m in matches] == [
                 (0, 0, "vldb"), (1, 1, "pvldb")], matches
             assert client.search("vldb", tau=1) == matches  # cached round
+
+            # A cross-shard batch merges to the same per-query answers.
+            batched = client.search_batch(["vldb", "icde", "vldb"], tau=1)
+            assert batched == [client.search(q, tau=1)
+                               for q in ("vldb", "icde", "vldb")], batched
 
             # Mutations route to the owning shard; answers stay exact.
             new_id = client.insert("vldbx")
@@ -81,11 +118,18 @@ def main() -> int:
             assert [(m.distance, m.id) for m in top] == [(0, 2), (1, 3)], top
             near = client.search("sigmoe", tau=0)
             assert [(m.id, m.text) for m in near] == [(new_id, "sigmoe")], near
+            assert client.delete(new_id) is True
+
+            # Query 4: a search-batch request and the CLI --file batch path
+            # must agree with per-query searches.
+            batch_smoke(client, host, port)
+            stats = client.stats()
     sharded_smoke()
     print(f"OK: service smoke passed on {host}:{port} "
           f"({stats['queries_served']}+ queries, "
-          f"cache hits={stats['cache']['hits']}), "
-          f"2-shard cross-shard queries verified")
+          f"cache hits={stats['cache']['hits']}, "
+          f"index bytes={stats['index']['approximate_bytes']}), "
+          f"2-shard cross-shard + batch queries verified")
     return 0
 
 

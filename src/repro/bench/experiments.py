@@ -432,6 +432,86 @@ def service_throughput(scale: float = 1.0, name: str = "author", tau: int = 2,
 
 
 # ----------------------------------------------------------------------
+# Batch search (beyond the paper — the batch-probe executor)
+# ----------------------------------------------------------------------
+def batch_search(scale: float = 1.0, name: str = "author", tau: int = 2,
+                 num_queries: int | None = None, batch_size: int = 64,
+                 distinct_fraction: float = 0.1,
+                 seed: int = 7) -> ExperimentTable:
+    """Per-query ``search()`` vs the grouped ``search_many()`` batch path.
+
+    A repeated-query workload (``distinct_fraction`` of the requests are
+    distinct) runs against one :class:`~repro.search.PassJoinSearcher`
+    twice: once as sequential per-query searches and once in
+    ``batch_size``-query batches through the batch-probe executor, which
+    probes duplicate queries once and shares the selection-window
+    computation between same-length queries.  Both runs must return
+    element-identical results per query — the benchmark asserts it.
+
+    The table also records the columnar index memory
+    (:meth:`SegmentIndex.memory_report
+    <repro.core.index.SegmentIndex.memory_report>`) next to the estimated
+    footprint of the pre-columnar object-list layout
+    (:meth:`~repro.core.index.SegmentIndex.object_layout_bytes`), the other
+    half of the refactor's win.
+    """
+    import random
+
+    from ..datasets.corruption import apply_random_edits
+    from ..search.searcher import PassJoinSearcher
+
+    strings = build_datasets(scale, [name])[name]
+    if num_queries is None:
+        num_queries = max(2 * batch_size, int(640 * scale))
+    rng = random.Random(seed)
+    distinct = max(1, min(num_queries, int(num_queries * distinct_fraction)))
+    pool = [apply_random_edits(rng.choice(strings), rng.randint(0, tau), rng)
+            for _ in range(distinct)]
+    workload = [rng.choice(pool) for _ in range(num_queries)]
+
+    searcher = PassJoinSearcher(strings, max_tau=tau)
+    memory = searcher._index.memory_report()
+    object_bytes = searcher._index.object_layout_bytes()
+
+    with Timer() as sequential_timer:
+        sequential = [searcher.search(query, tau) for query in workload]
+    with Timer() as batch_timer:
+        batched: list = []
+        for start in range(0, len(workload), batch_size):
+            batched.extend(searcher.search_many(
+                workload[start:start + batch_size], tau))
+    if batched != sequential:
+        raise AssertionError(
+            "batch-probe executor disagrees with per-query search")
+
+    table = ExperimentTable(
+        key="batch-search",
+        title="Batch-probe executor: sequential vs batched search",
+        columns=["dataset", "tau", "queries", "distinct", "batch_size",
+                 "mode", "seconds", "qps", "speedup", "total_matches",
+                 "index_bytes", "object_index_bytes"],
+        notes=f"{distinct} distinct queries repeated to {num_queries} "
+              f"requests in batches of {batch_size}; results asserted "
+              "element-identical; index_bytes is the columnar layout "
+              "(postings + record columns), object_index_bytes the "
+              "estimated pre-columnar object-list layout; " + _SCALE_NOTE,
+    )
+    baseline_seconds = sequential_timer.seconds
+    for mode, seconds, results in (
+            ("sequential", sequential_timer.seconds, sequential),
+            ("batch", batch_timer.seconds, batched)):
+        table.add_row(dataset=name, tau=tau, queries=num_queries,
+                      distinct=distinct, batch_size=batch_size, mode=mode,
+                      seconds=round(seconds, 6),
+                      qps=round(num_queries / max(seconds, 1e-9), 1),
+                      speedup=round(baseline_seconds / max(seconds, 1e-9), 3),
+                      total_matches=sum(len(matches) for matches in results),
+                      index_bytes=memory["approximate_bytes"],
+                      object_index_bytes=object_bytes)
+    return table
+
+
+# ----------------------------------------------------------------------
 # Sharded serving throughput (beyond the paper — the sharded serving tier)
 # ----------------------------------------------------------------------
 def sharded_throughput(scale: float = 1.0, name: str = "author", tau: int = 2,
@@ -599,6 +679,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "figure16": fig16_scalability,
     "parallel-scaling": parallel_scaling,
     "service-throughput": service_throughput,
+    "batch-search": batch_search,
     "sharded-throughput": sharded_throughput,
     "ablation-partition": ablation_partition_strategies,
     "ablation-verifier": ablation_verifier_kernels,

@@ -10,6 +10,7 @@ Six subcommands cover the day-to-day uses of the library::
     passjoin experiment figure15 --scale 0.5   # rerun a paper experiment
     passjoin serve FILE --tau 2 --port 8765    # online similarity service
     passjoin query "some string" --tau 1       # ask a running service
+    passjoin query --file queries.txt --tau 1  # batch: one request, N queries
 
 The module is also importable: :func:`main` takes an ``argv`` list, which is
 what the CLI tests use.
@@ -118,7 +119,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     query = subparsers.add_parser(
         "query", help="query a running similarity service")
-    query.add_argument("text", help="the query string")
+    query.add_argument("text", nargs="?", default=None,
+                       help="the query string (omit when using --file)")
+    query.add_argument("--file", default=None,
+                       help="file of query strings (one per line), sent as "
+                            "one search-batch request")
     query.add_argument("--tau", type=int, default=None,
                        help="edit-distance threshold (default: the "
                             "server's maximum)")
@@ -229,8 +234,28 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_query(args: argparse.Namespace) -> int:
     from .service.client import ServiceClient
 
+    if (args.text is None) == (args.file is None):
+        print("provide exactly one of a query string or --file",
+              file=sys.stderr)
+        return 2
+    if args.file is not None and args.top_k is not None:
+        print("--top-k is a per-query search; it cannot be combined with "
+              "--file", file=sys.stderr)
+        return 2
     try:
         with ServiceClient(args.host, args.port) as client:
+            if args.file is not None:
+                queries = load_strings(args.file)
+                results = client.search_batch(queries, args.tau)
+                total = 0
+                for query, matches in zip(queries, results):
+                    for match in matches:
+                        print(f"{query}\t{match.id}\t{match.distance}\t"
+                              f"{match.text}")
+                    total += len(matches)
+                print(f"# queries={len(queries)} matches={total}",
+                      file=sys.stderr)
+                return 0
             if args.top_k is not None:
                 matches = client.top_k(args.text, args.top_k, args.tau)
             else:

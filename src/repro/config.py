@@ -197,6 +197,10 @@ class ServiceConfig:
         Maximum number of concurrent requests the
         :class:`~repro.service.batcher.RequestBatcher` coalesces into one
         index pass; reaching it drains the batch immediately.
+    max_query_batch:
+        Largest number of queries one ``search-batch`` request line may
+        carry (``0`` = unlimited).  Bounds how long a single request can
+        monopolise the serving core.
     batch_window:
         Seconds the batcher waits for more concurrent requests before
         draining a non-full batch (small: it only exists to catch requests
@@ -224,6 +228,7 @@ class ServiceConfig:
     partition: PartitionStrategy = PartitionStrategy.EVEN
     cache_capacity: int = 1024
     max_batch: int = 64
+    max_query_batch: int = 1024
     batch_window: float = 0.002
     compact_interval: int = 64
     shards: int = 1
@@ -241,6 +246,7 @@ class ServiceConfig:
                                      f"got {self.host!r}")
         for name, value in (("port", self.port),
                             ("cache_capacity", self.cache_capacity),
+                            ("max_query_batch", self.max_query_batch),
                             ("compact_interval", self.compact_interval)):
             if isinstance(value, bool) or not isinstance(value, int) or value < 0:
                 raise ConfigurationError(

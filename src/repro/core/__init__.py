@@ -16,12 +16,15 @@ from .index import SegmentIndex
 from .join import PassJoin, pass_join, pass_join_pairs
 from .partition import partition, segment_layout
 from .selection import make_selector
+from .store import PostingList, RecordStore
 
 __all__ = [
     "PassJoin",
     "pass_join",
     "pass_join_pairs",
     "SegmentIndex",
+    "RecordStore",
+    "PostingList",
     "partition",
     "segment_layout",
     "make_selector",

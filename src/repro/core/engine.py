@@ -12,12 +12,23 @@ lifecycles:
 
 This module holds the logic both share: the canonical record ordering, the
 static index builder, and :func:`probe_record`, the per-probe
-select → lookup → verify pipeline.  The optional ``accept`` predicate lets
-the parallel self join reproduce the serial driver's "only already-visited
-strings are indexed" invariant on a full static index: a worker probing the
-record at sort position ``p`` accepts only partners at positions ``< p``,
-which yields exactly the serial result set with no cross-chunk
-deduplication.
+select → lookup → verify pipeline.  The optional ``accept`` predicate (a
+function of the candidate's record *id*) lets the parallel self join
+reproduce the serial driver's "only already-visited strings are indexed"
+invariant on a full static index: a worker probing the record at sort
+position ``p`` accepts only partners at positions ``< p``, which yields
+exactly the serial result set with no cross-chunk deduplication.
+
+Candidate filtering runs on the columnar postings directly — record ids are
+read straight from the :class:`~repro.core.store.RecordStore` columns and a
+:class:`~repro.types.StringRecord` is only materialised for candidates that
+reach the verifier.
+
+:func:`probe_many` is the batch-probe executor on top of the same pipeline:
+a whole batch of ``(query, tau)`` lookups is answered in one pass, with
+duplicate queries executed once and the selection windows of every
+``(query length, tau, indexed length)`` combination computed once per
+group instead of once per query (scan sharing for the select phase).
 """
 
 from __future__ import annotations
@@ -69,26 +80,27 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
                  selector: SubstringSelector, verifier: BaseVerifier,
                  stats: JoinStatistics, max_length: int,
                  allow_same_id: bool = False,
-                 accept: Callable[[StringRecord], bool] | None = None,
+                 accept: Callable[[int], bool] | None = None,
                  ) -> list[tuple[StringRecord, int]]:
     """Find indexed (and short-pool) strings similar to ``probe``.
 
     ``max_length`` bounds the indexed lengths probed: ``|probe|`` for the
     self join (a partner longer than the probe sorts after it) and
     ``|probe| + τ`` for the R-S join.  ``accept`` optionally restricts which
-    indexed records may partner the probe; records it rejects are skipped
-    before candidate counting and verification, exactly as if they were not
-    indexed at all.
+    indexed records may partner the probe by record id; ids it rejects are
+    skipped before candidate counting and verification, exactly as if they
+    were not indexed at all.
     """
     found: dict[int, int] = {}
     checked: set[int] = set()
     min_length = probe.length - tau
+    probe_id = probe.id
 
     # Strings too short to partition are verified directly.
     for record in short_pool:
-        if record.id == probe.id and not allow_same_id:
+        if record.id == probe_id and not allow_same_id:
             continue
-        if accept is not None and not accept(record):
+        if accept is not None and not accept(record.id):
             continue
         if abs(record.length - probe.length) > tau:
             continue
@@ -119,17 +131,19 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
             postings = index.lookup(length, selection.ordinal, selection.text)
             if not postings:
                 continue
+            store = postings.store
             candidates = []
-            for record in postings:
-                if record.id == probe.id and not allow_same_id:
+            for row in postings.ordinals:
+                record_id = store.id_at(row)
+                if record_id == probe_id and not allow_same_id:
                     continue
-                if accept is not None and not accept(record):
+                if accept is not None and not accept(record_id):
                     continue
-                if record.id in found:
+                if record_id in found:
                     continue
-                if skip_rechecks and record.id in checked:
+                if skip_rechecks and record_id in checked:
                     continue
-                candidates.append(record)
+                candidates.append(store.record_at(row))
             if not candidates:
                 continue
             stats.num_candidates += len(candidates)
@@ -147,3 +161,139 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
                     found[record.id] = distance
                     matches.append((record, distance))
     return matches
+
+
+class _BatchQueryState:
+    """Per-unique-query accumulator of one :func:`probe_many` group."""
+
+    __slots__ = ("text", "positions", "found", "matches", "checked")
+
+    def __init__(self, text: str, positions: list[int],
+                 skip_rechecks: bool) -> None:
+        self.text = text
+        self.positions = positions
+        self.found: dict[int, int] = {}
+        self.matches: list[tuple[StringRecord, int]] = []
+        self.checked: set[int] | None = set() if skip_rechecks else None
+
+
+def probe_many(queries: Sequence[tuple[str, int]], *, index: SegmentIndex,
+               short_pool: Sequence[StringRecord],
+               selector: SubstringSelector,
+               verifier_factory: Callable[[int], BaseVerifier],
+               stats: JoinStatistics,
+               accept: Callable[[int], bool] | None = None,
+               ) -> list[list[tuple[StringRecord, int]]]:
+    """Answer a batch of ``(query text, tau)`` searches in one grouped pass.
+
+    The batch executor behind ``search_many()``:
+
+    1. **Deduplicate** — identical ``(query, tau)`` pairs are probed once
+       and their result is fanned out to every occurrence.
+    2. **Group by shape** — unique queries are grouped by
+       ``(query length, tau)``.  Selection windows depend only on the
+       probe *length*, the indexed length, and ``tau``, so each group
+       computes the window set of every candidate indexed length once and
+       every member query merely slices its own substrings out of it.
+    3. **Stream verification** — candidates are filtered on the columnar
+       postings by record id and verified per query exactly as in
+       :func:`probe_record`, so each result list is element-identical to
+       the per-query pipeline (the property-test contract).
+
+    Queries are treated as external probes (the search use case): no
+    same-id filtering is applied beyond the optional ``accept`` predicate
+    on candidate record ids.  Returns one ``(record, distance)`` list per
+    input position, aligned with ``queries``.
+    """
+    results: list[list[tuple[StringRecord, int]]] = [[] for _ in queries]
+    unique: dict[tuple[str, int], list[int]] = {}
+    for position, item in enumerate(queries):
+        unique.setdefault(item, []).append(position)
+    groups: dict[tuple[int, int], list[tuple[str, list[int]]]] = {}
+    for (text, tau), positions in unique.items():
+        groups.setdefault((len(text), tau), []).append((text, positions))
+
+    for (query_length, tau), members in sorted(groups.items()):
+        verifier = verifier_factory(tau)
+        skip_rechecks = verifier.exact_per_pair
+        states = [_BatchQueryState(text, positions, skip_rechecks)
+                  for text, positions in members]
+
+        # Strings too short to partition are verified directly, per query.
+        for record in short_pool:
+            if accept is not None and not accept(record.id):
+                continue
+            if abs(record.length - query_length) > tau:
+                continue
+            for state in states:
+                verification_started = time.perf_counter()
+                stats.num_verifications += 1
+                distance = length_aware_edit_distance(record.text, state.text,
+                                                      tau, stats)
+                stats.verification_seconds += (
+                    time.perf_counter() - verification_started)
+                if distance <= tau:
+                    state.found[record.id] = distance
+                    state.matches.append((record, distance))
+
+        for length in range(max(0, query_length - tau), query_length + tau + 1):
+            if not index.has_length(length):
+                continue
+            layout = index.layout(length)
+            selection_started = time.perf_counter()
+            # One window computation for every query in the group — the
+            # batch saving probe_record pays per query.
+            windows = selector.windows(query_length, length, layout)
+            stats.selection_seconds += time.perf_counter() - selection_started
+            for state in states:
+                text = state.text
+                found = state.found
+                checked = state.checked
+                for window in windows:
+                    size = window.size
+                    if size <= 0:
+                        continue
+                    stats.num_selected_substrings += size
+                    seg_length = window.seg_length
+                    for start in range(window.lo, window.hi + 1):
+                        stats.num_index_probes += 1
+                        postings = index.lookup(
+                            length, window.ordinal,
+                            text[start:start + seg_length])
+                        if not postings:
+                            continue
+                        store = postings.store
+                        candidates = []
+                        for row in postings.ordinals:
+                            record_id = store.id_at(row)
+                            if accept is not None and not accept(record_id):
+                                continue
+                            if record_id in found:
+                                continue
+                            if checked is not None and record_id in checked:
+                                continue
+                            candidates.append(store.record_at(row))
+                        if not candidates:
+                            continue
+                        stats.num_candidates += len(candidates)
+                        context = MatchContext(ordinal=window.ordinal,
+                                               probe_start=start,
+                                               seg_start=window.seg_start,
+                                               seg_length=seg_length)
+                        verification_started = time.perf_counter()
+                        accepted = verifier.verify_candidates(
+                            text, candidates, context)
+                        stats.verification_seconds += (
+                            time.perf_counter() - verification_started)
+                        if checked is not None:
+                            checked.update(
+                                record.id for record in candidates)
+                        for record, distance in accepted:
+                            if record.id not in found:
+                                found[record.id] = distance
+                                state.matches.append((record, distance))
+
+        for state in states:
+            for position in state.positions:
+                results[position] = list(state.matches)
+    return results

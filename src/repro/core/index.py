@@ -1,11 +1,20 @@
-"""Segment inverted indices ``L_l^i`` (Section 3.2).
+"""Segment inverted indices ``L_l^i`` (Section 3.2), columnar edition.
 
 For every indexed string length ``l`` and segment ordinal ``i`` the index
-keeps a dictionary mapping segment text to the list of string ids whose
-``i``-th segment equals that text.  The lists preserve insertion order;
-because the Pass-Join driver inserts strings in sorted (length, text) order,
-every inverted list is automatically sorted alphabetically by the indexed
-string — the property the shared-prefix verifier exploits.
+keeps a dictionary mapping segment text to the inverted list of strings
+whose ``i``-th segment equals that text.  Postings are stored columnar: the
+records themselves live once in a shared :class:`~repro.core.store.RecordStore`
+(parallel ``(id, length, text)`` columns) and every inverted list is a
+compact ``array('q')`` of store row ordinals.  :meth:`SegmentIndex.lookup`
+resolves ordinals lazily through a :class:`~repro.core.store.PostingList`
+view, so record objects are only materialised for candidates that survive
+the probe-side filters — and ``fork`` workers inherit flat arrays
+copy-on-write instead of touching refcounts on millions of record objects.
+
+The lists preserve insertion order; because the Pass-Join driver inserts
+strings in sorted (length, text) order, every inverted list is
+automatically sorted alphabetically by the indexed string — the property
+the shared-prefix verifier exploits.
 
 The index also implements the paper's memory optimisation: once the driver
 has moved on to strings of length ``l``, indices for lengths smaller than
@@ -16,12 +25,18 @@ has moved on to strings of length ``l``, indices for lengths smaller than
 from __future__ import annotations
 
 import sys
+from array import array
 from bisect import insort
 from typing import Iterable, Sequence
 
 from ..config import PartitionStrategy, validate_threshold
 from ..types import StringRecord
 from .partition import can_partition, partition, segment_layout
+from .store import PostingList, RecordStore
+
+#: Bytes of one posting in the approximate accounting (one machine word —
+#: exactly one ``array('q')`` slot in the columnar layout).
+POSTING_BYTES = 8
 
 
 class SegmentIndex:
@@ -35,14 +50,20 @@ class SegmentIndex:
     strategy:
         Partition strategy (even by default, see
         :mod:`repro.core.partition`).
+    store:
+        Optional shared :class:`~repro.core.store.RecordStore`.  By default
+        every index owns a private store; passing one lets several indices
+        (or an index and its owning searcher) share a single record table.
     """
 
     def __init__(self, tau: int,
-                 strategy: PartitionStrategy = PartitionStrategy.EVEN) -> None:
+                 strategy: PartitionStrategy = PartitionStrategy.EVEN, *,
+                 store: RecordStore | None = None) -> None:
         self.tau = validate_threshold(tau)
         self.strategy = strategy
-        # _indices[length][ordinal][segment_text] -> list of StringRecord
-        self._indices: dict[int, dict[int, dict[str, list[StringRecord]]]] = {}
+        self.store = store if store is not None else RecordStore()
+        # _indices[length][ordinal][segment_text] -> array('q') of store rows
+        self._indices: dict[int, dict[int, dict[str, array]]] = {}
         self._records_per_length: dict[int, int] = {}
         self._segment_count = 0
         # Incremental accounting, maintained by add()/evict_below() so the
@@ -72,20 +93,21 @@ class SegmentIndex:
         length = record.length
         if not can_partition(length, self.tau):
             return 0
+        row = self.store.intern(record)
         per_length = self._indices.setdefault(length, {})
         added_bytes = 0
         for segment in partition(record.text, self.tau, self.strategy):
             per_ordinal = per_length.setdefault(segment.ordinal, {})
             postings = per_ordinal.get(segment.text)
             if postings is None:
-                per_ordinal[segment.text] = [record]
-                added_bytes += len(segment.text) + 8
+                per_ordinal[segment.text] = array("q", (row,))
+                added_bytes += len(segment.text) + POSTING_BYTES
             else:
                 if keep_sorted:
-                    insort(postings, record, key=lambda r: (r.text, r.id))
+                    insort(postings, row, key=self.store.sort_key)
                 else:
-                    postings.append(record)
-                added_bytes += 8
+                    postings.append(row)
+                added_bytes += POSTING_BYTES
         self._records_per_length[length] = self._records_per_length.get(length, 0) + 1
         self._segment_count += self.tau + 1
         self._entries_by_length[length] = (
@@ -106,15 +128,22 @@ class SegmentIndex:
         This is the compaction hook for the online service layer
         (:class:`repro.service.DynamicSearcher`): tombstoned records are
         physically purged from the inverted lists here, keeping the
-        remaining entries in their original relative order.  Returns the
-        number of postings removed (``0`` when the record was never
-        indexed, e.g. because it was too short to partition).
+        remaining entries in their original relative order.  Emptied
+        segment buckets *and* their enclosing per-ordinal dictionaries are
+        pruned, so a long-lived dynamic index never accumulates empty dict
+        shells.  Returns the number of postings removed (``0`` when the
+        record was never indexed, e.g. because it was too short to
+        partition), and releases the record's store row once its last
+        posting is gone.
         """
         length = record.length
         if not can_partition(length, self.tau):
             return 0
         per_length = self._indices.get(length)
         if per_length is None:
+            return 0
+        row = self.store.find(record.id, record.text)
+        if row is None:
             return 0
         removed = 0
         removed_bytes = 0
@@ -126,22 +155,26 @@ class SegmentIndex:
             if postings is None:
                 continue
             try:
-                postings.remove(record)
+                postings.remove(row)
             except ValueError:
                 continue
             removed += 1
-            removed_bytes += 8
+            removed_bytes += POSTING_BYTES
             if not postings:
                 del per_ordinal[segment.text]
                 removed_bytes += len(segment.text)
+                if not per_ordinal:
+                    del per_length[segment.ordinal]
         if removed == 0:
             return 0
+        self.store.release(row)
         remaining = self._records_per_length.get(length, 0) - 1
         if remaining > 0:
             self._records_per_length[length] = remaining
         else:
             self._records_per_length.pop(length, None)
-            del self._indices[length]
+        if not per_length:
+            self._indices.pop(length, None)
         self._entries_by_length[length] = (
             self._entries_by_length.get(length, 0) - removed)
         self._bytes_by_length[length] = (
@@ -169,14 +202,22 @@ class SegmentIndex:
         return segment_layout(length, self.tau, self.strategy)
 
     def lookup(self, length: int, ordinal: int, text: str) -> Sequence[StringRecord]:
-        """Return the inverted list ``L_length^ordinal(text)`` (possibly empty)."""
+        """Return the inverted list ``L_length^ordinal(text)`` (possibly empty).
+
+        Hits come back as a lazy :class:`~repro.core.store.PostingList`
+        view: iterating it materialises records on demand, while the probe
+        hot path reads its ``ordinals``/``store`` columns directly.
+        """
         per_length = self._indices.get(length)
         if per_length is None:
             return ()
         per_ordinal = per_length.get(ordinal)
         if per_ordinal is None:
             return ()
-        return per_ordinal.get(text, ())
+        postings = per_ordinal.get(text)
+        if postings is None:
+            return ()
+        return PostingList(self.store, postings)
 
     def records_with_length(self, length: int) -> int:
         """Number of indexed strings of exactly ``length``."""
@@ -190,11 +231,18 @@ class SegmentIndex:
 
         Returns the number of length groups removed.  The Pass-Join driver
         calls this as it advances through the sorted input, which bounds the
-        number of live length groups by ``τ + 1``.
+        number of live length groups by ``τ + 1``.  The store rows of the
+        evicted records are released (every record appears exactly once per
+        ``add`` in its ordinal-1 list), so the sliding-window join keeps
+        the record table bounded by the live window too.
         """
         stale = [length for length in self._indices if length < min_length]
         for length in stale:
-            del self._indices[length]
+            per_length = self._indices.pop(length)
+            for postings in per_length.get(1, {}).values():
+                for row in postings:
+                    self.store.release(row)
+            self._records_per_length.pop(length, None)
             self._current_entries -= self._entries_by_length.pop(length, 0)
             self._current_bytes -= self._bytes_by_length.pop(length, 0)
         return len(stale)
@@ -215,7 +263,7 @@ class SegmentIndex:
         return self._current_bytes
 
     def entry_count(self) -> int:
-        """Total number of (segment text → id) postings currently stored."""
+        """Total number of (segment text → row) postings currently stored."""
         total = 0
         for per_length in self._indices.values():
             for per_ordinal in per_length.values():
@@ -232,32 +280,73 @@ class SegmentIndex:
         return total
 
     def approximate_bytes(self) -> int:
-        """Rough memory footprint of the index, for the Table 3 comparison.
+        """Rough memory footprint of the inverted lists (Table 3 comparison).
 
         The estimate counts the segment key strings plus one machine word
-        (8 bytes) per posting, mirroring how the paper counts "an integer to
+        (8 bytes) per posting — exactly one ``array('q')`` slot in the
+        columnar layout — mirroring how the paper counts "an integer to
         encode a segment" plus the inverted lists.  Python object overhead
         is deliberately excluded so the number reflects the data structure,
-        not the runtime.
+        not the runtime; the record columns are accounted separately by
+        :meth:`RecordStore.approximate_bytes` (see :meth:`memory_report`).
         """
         total = 0
         for per_length in self._indices.values():
             for per_ordinal in per_length.values():
                 for text, postings in per_ordinal.items():
                     total += len(text.encode("utf-8", errors="replace"))
-                    total += 8 * len(postings)
+                    total += POSTING_BYTES * len(postings)
         return total
 
     def deep_bytes(self) -> int:
         """Actual ``sys.getsizeof``-based footprint (includes dict overhead)."""
-        total = sys.getsizeof(self._indices)
+        total = sys.getsizeof(self._indices) + self.store.deep_bytes()
         for per_length in self._indices.values():
             total += sys.getsizeof(per_length)
             for per_ordinal in per_length.values():
                 total += sys.getsizeof(per_ordinal)
                 for text, postings in per_ordinal.items():
                     total += sys.getsizeof(text) + sys.getsizeof(postings)
-                    total += 8 * len(postings)
+        return total
+
+    def memory_report(self) -> dict[str, int]:
+        """Memory figures of the columnar layout, for the ``stats`` op and
+        the batch-search benchmark.
+
+        ``records`` counts live store rows (for a dynamic index this
+        includes tombstoned records until compaction physically purges
+        them); ``approximate_bytes`` is the inverted lists plus the record
+        columns.
+        """
+        store_bytes = self.store.approximate_bytes()
+        return {
+            "records": self.store.live_count,
+            "postings": self._current_entries,
+            "distinct_segments": self.distinct_segment_count(),
+            "postings_bytes": self._current_bytes,
+            "store_bytes": store_bytes,
+            "approximate_bytes": self._current_bytes + store_bytes,
+        }
+
+    def object_layout_bytes(self) -> int:
+        """Estimated footprint of the pre-columnar object-list layout.
+
+        The counterfactual the memory benchmark compares against: the same
+        inverted lists holding per-posting references to heap
+        ``StringRecord`` objects — so each live record pays one record
+        object plus one string object on top of its text, where the
+        columnar layout pays three machine words.  Posting and segment-key
+        bytes are identical in both layouts and counted the same way as
+        :meth:`approximate_bytes`.
+        """
+        record_overhead = sys.getsizeof(StringRecord(id=0, text=""))
+        str_overhead = sys.getsizeof("")
+        total = self.approximate_bytes()
+        store = self.store
+        for row in range(store.row_count):
+            if not store.is_live(row):
+                continue
+            total += record_overhead + str_overhead + len(store.text_at(row))
         return total
 
     def __len__(self) -> int:

@@ -172,7 +172,7 @@ def _probe_span(state: WorkerContext, span: tuple[int, int],
                 probe, tau=tau, index=state.index, short_pool=state.short_pool,
                 selector=selector, verifier=verifier, stats=stats,
                 max_length=probe.length,
-                accept=lambda record, limit=pos: positions[record.id] < limit)
+                accept=lambda record_id, limit=pos: positions[record_id] < limit)
             for partner, distance in matches:
                 pairs.append(normalise_pair(probe.id, partner.id, distance,
                                             probe.text, partner.text))

@@ -1,0 +1,222 @@
+"""Columnar record storage shared by every segment index.
+
+:class:`RecordStore` is an interned table of ``(id, length, text)`` rows
+held as parallel columns — two ``array('q')`` columns for the integers and
+one list of strings for the texts.  Inverted lists reference rows by
+*ordinal* (the row number) instead of holding Python object references, so
+the postings of a :class:`~repro.core.index.SegmentIndex` become compact
+``array('q')`` buffers:
+
+* **Memory** — a posting costs 8 bytes in a flat buffer, and a record costs
+  three machine words plus its text, instead of one heap ``StringRecord``
+  object per record plus list slots per posting.
+* **Fork friendliness** — worker processes spawned with ``fork`` (the
+  parallel join pool, the process shard backend) inherit flat arrays
+  copy-on-write.  Iterating them never touches per-object reference
+  counts, so probing in a worker no longer faults in the pages holding
+  millions of record objects (a ROADMAP open item).
+* **One representation** — the join drivers, the searchers, the dynamic
+  serving index, and the shard workers all store records the same way; a
+  :class:`StringRecord` is materialised lazily, and only for candidates
+  that survive the id-level filters.
+
+Rows are reference counted: :meth:`RecordStore.intern` of an already-stored
+``(id, text)`` pair bumps the count and returns the existing row, and
+:meth:`RecordStore.release` frees the row once the count reaches zero,
+recycling it through a free list so long-lived mutable indices do not grow
+without bound under insert/delete churn.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Iterator, Sequence
+
+from ..types import StringRecord
+
+
+class RecordStore:
+    """Interned columnar table of ``(id, length, text)`` rows.
+
+    Examples
+    --------
+    >>> store = RecordStore()
+    >>> row = store.intern(StringRecord(id=7, text="vldb"))
+    >>> store.id_at(row), store.text_at(row), store.length_at(row)
+    (7, 'vldb', 4)
+    >>> store.record_at(row)
+    StringRecord(id=7, text='vldb')
+    """
+
+    __slots__ = ("_ids", "_lengths", "_texts", "_refs", "_rows", "_free",
+                 "_live", "_text_chars")
+
+    def __init__(self) -> None:
+        self._ids = array("q")
+        self._lengths = array("q")
+        self._texts: list[str] = []
+        self._refs = array("q")
+        # (id, text) -> row; the interning map that keeps one row per record.
+        self._rows: dict[tuple[int, str], int] = {}
+        self._free: list[int] = []
+        self._live = 0
+        self._text_chars = 0
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def intern(self, record: StringRecord) -> int:
+        """Store ``record`` (or find its existing row); return the row ordinal.
+
+        Every ``intern`` must eventually be balanced by one
+        :meth:`release`; an already-stored ``(id, text)`` pair only bumps
+        the row's reference count.
+        """
+        key = (record.id, record.text)
+        row = self._rows.get(key)
+        if row is not None:
+            self._refs[row] += 1
+            return row
+        if self._free:
+            row = self._free.pop()
+            self._ids[row] = record.id
+            self._lengths[row] = record.length
+            self._texts[row] = record.text
+            self._refs[row] = 1
+        else:
+            row = len(self._texts)
+            self._ids.append(record.id)
+            self._lengths.append(record.length)
+            self._texts.append(record.text)
+            self._refs.append(1)
+        self._rows[key] = row
+        self._live += 1
+        self._text_chars += len(record.text)
+        return row
+
+    def release(self, row: int) -> int:
+        """Drop one reference to ``row``; return the remaining count.
+
+        At zero the row is cleared and recycled through the free list —
+        the caller guarantees no posting references it any more.
+        """
+        remaining = self._refs[row] - 1
+        if remaining < 0:
+            raise ValueError(f"row {row} released more often than interned")
+        self._refs[row] = remaining
+        if remaining == 0:
+            text = self._texts[row]
+            del self._rows[(self._ids[row], text)]
+            self._text_chars -= len(text)
+            self._texts[row] = ""
+            self._ids[row] = -1
+            self._lengths[row] = 0
+            self._free.append(row)
+            self._live -= 1
+        return remaining
+
+    def find(self, record_id: int, text: str) -> int | None:
+        """Row ordinal of a stored ``(id, text)`` pair, or ``None``."""
+        return self._rows.get((record_id, text))
+
+    def is_live(self, row: int) -> bool:
+        """True while ``row`` holds a record (not released/recycled)."""
+        return self._refs[row] > 0
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def id_at(self, row: int) -> int:
+        return self._ids[row]
+
+    def text_at(self, row: int) -> str:
+        return self._texts[row]
+
+    def length_at(self, row: int) -> int:
+        return self._lengths[row]
+
+    def record_at(self, row: int) -> StringRecord:
+        """Materialise the row as a :class:`StringRecord` (lazy, per call)."""
+        return StringRecord(id=self._ids[row], text=self._texts[row])
+
+    def sort_key(self, row: int) -> tuple[str, int]:
+        """The ``(text, id)`` ordering key of a row (sorted-posting invariant)."""
+        return (self._texts[row], self._ids[row])
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def live_count(self) -> int:
+        """Number of rows currently holding a record."""
+        return self._live
+
+    @property
+    def row_count(self) -> int:
+        """Number of allocated rows (live + recyclable)."""
+        return len(self._texts)
+
+    def approximate_bytes(self) -> int:
+        """Data-structure bytes of the columns: three machine words per
+        allocated row (id, length, text pointer) plus the live text payload.
+
+        Python container overhead is deliberately excluded, mirroring
+        :meth:`repro.core.index.SegmentIndex.approximate_bytes`.
+        """
+        return 24 * len(self._texts) + self._text_chars
+
+    def deep_bytes(self) -> int:
+        """Actual ``sys.getsizeof``-based footprint of the columns."""
+        total = (sys.getsizeof(self._ids) + sys.getsizeof(self._lengths)
+                 + sys.getsizeof(self._refs) + sys.getsizeof(self._texts)
+                 + sys.getsizeof(self._rows) + sys.getsizeof(self._free))
+        for text in self._texts:
+            total += sys.getsizeof(text)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RecordStore(live={self._live}, rows={len(self._texts)}, "
+                f"free={len(self._free)})")
+
+
+class PostingList(Sequence[StringRecord]):
+    """A lazy record view over one inverted list of store row ordinals.
+
+    Iteration and indexing materialise :class:`StringRecord` objects on
+    demand, so existing callers (and tests) keep seeing records; the probe
+    hot path instead reads :attr:`ordinals` and the :attr:`store` columns
+    directly and only materialises the candidates that survive the
+    id-level filters.
+    """
+
+    __slots__ = ("store", "ordinals")
+
+    def __init__(self, store: RecordStore, ordinals: array) -> None:
+        self.store = store
+        self.ordinals = ordinals
+
+    def __len__(self) -> int:
+        return len(self.ordinals)
+
+    def __getitem__(self, position):  # type: ignore[override]
+        if isinstance(position, slice):
+            return [self.store.record_at(row)
+                    for row in self.ordinals[position]]
+        return self.store.record_at(self.ordinals[position])
+
+    def __iter__(self) -> Iterator[StringRecord]:
+        record_at = self.store.record_at
+        for row in self.ordinals:
+            yield record_at(row)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (list, tuple, PostingList)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PostingList({list(self)!r})"

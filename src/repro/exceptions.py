@@ -57,3 +57,15 @@ class ServiceError(PassJoinError):
     Raised by the service clients when the server answers ``ok: false`` or
     violates the JSON-lines protocol (truncated stream, non-JSON reply).
     """
+
+
+class ProtocolError(ServiceError):
+    """The JSON-lines wire protocol itself was violated.
+
+    Raised by the service clients when the server closes the connection
+    mid-response, sends a truncated or non-JSON frame, or the transport
+    resets underneath a request — instead of leaking a bare
+    ``json.JSONDecodeError`` or ``ConnectionResetError``.  Subclasses
+    :class:`ServiceError`, so existing ``except ServiceError`` handlers
+    keep working.
+    """

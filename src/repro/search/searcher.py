@@ -26,13 +26,57 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from ..config import PartitionStrategy, validate_threshold
+from ..core.engine import probe_many, probe_record
 from ..core.index import SegmentIndex
 from ..core.partition import can_partition
 from ..core.selection import MultiMatchAwareSelector
-from ..core.verify import ExtensionVerifier, MatchContext
-from ..distance.banded import length_aware_edit_distance
+from ..core.verify import ExtensionVerifier
 from ..exceptions import InvalidThresholdError
 from ..types import JoinStatistics, StringRecord, as_records
+
+
+def resolve_query_taus(queries: Sequence[str],
+                       tau: int | Sequence[int | None] | None,
+                       max_tau: int) -> list[int]:
+    """Resolve a ``search_many`` threshold argument to one tau per query.
+
+    ``tau`` may be a single value applied to every query (``None`` means
+    ``max_tau``) or a sequence aligned with ``queries`` whose entries are
+    again ints or ``None``.  Every resolved threshold is validated against
+    ``max_tau`` — shared by all three batch searchers so their threshold
+    semantics cannot drift apart.
+    """
+    def resolve_one(value: int | None) -> int:
+        resolved = max_tau if value is None else validate_threshold(value)
+        if resolved > max_tau:
+            raise InvalidThresholdError(resolved)
+        return resolved
+
+    if tau is None or isinstance(tau, int):
+        return [resolve_one(tau)] * len(queries)
+    taus = list(tau)
+    if len(taus) != len(queries):
+        raise ValueError(f"got {len(queries)} queries but {len(taus)} "
+                         f"thresholds")
+    return [resolve_one(value) for value in taus]
+
+
+def wrap_batch_matches(raw: Sequence[Sequence[tuple[StringRecord, int]]],
+                       stats: JoinStatistics) -> list[list["SearchMatch"]]:
+    """Turn :func:`~repro.core.engine.probe_many` output into result lists.
+
+    One sorted ``SearchMatch`` list per query, counted into
+    ``stats.num_results`` — shared by every batch searcher (like
+    :func:`resolve_query_taus`) so their result shaping cannot drift apart.
+    """
+    results: list[list[SearchMatch]] = []
+    for matches in raw:
+        found = sorted((SearchMatch(distance, record.id, record.text)
+                        for record, distance in matches),
+                       key=SearchMatch.sort_key)
+        stats.num_results += len(found)
+        results.append(found)
+    return results
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -137,45 +181,39 @@ class PassJoinSearcher:
             raise InvalidThresholdError(tau)
         stats = self.statistics
         verifier = ExtensionVerifier(tau, stats)
-        matches: dict[int, SearchMatch] = {}
-
-        # Short strings: verified directly under the length filter.
-        for record in self._short_pool:
-            if abs(record.length - len(query)) > tau:
-                continue
-            stats.num_verifications += 1
-            distance = length_aware_edit_distance(record.text, query, tau, stats)
-            if distance <= tau:
-                matches[record.id] = SearchMatch(distance, record.id, record.text)
-
-        for length in range(max(0, len(query) - tau), len(query) + tau + 1):
-            if not self._index.has_length(length):
-                continue
-            layout = self._index.layout(length)
-            selections = self._selector.select(query, length, layout)
-            stats.num_selected_substrings += len(selections)
-            for selection in selections:
-                stats.num_index_probes += 1
-                postings = self._index.lookup(length, selection.ordinal,
-                                              selection.text)
-                if not postings:
-                    continue
-                candidates = [record for record in postings
-                              if record.id not in matches]
-                if not candidates:
-                    continue
-                stats.num_candidates += len(candidates)
-                context = MatchContext(ordinal=selection.ordinal,
-                                       probe_start=selection.start,
-                                       seg_start=selection.seg_start,
-                                       seg_length=selection.seg_length)
-                for record, distance in verifier.verify_candidates(
-                        query, candidates, context):
-                    matches[record.id] = SearchMatch(distance, record.id,
-                                                     record.text)
-        found = sorted(matches.values(), key=SearchMatch.sort_key)
+        probe = StringRecord(id=-1, text=query)
+        matches = probe_record(
+            probe, tau=tau, index=self._index, short_pool=self._short_pool,
+            selector=self._selector, verifier=verifier, stats=stats,
+            max_length=len(query) + tau, allow_same_id=True)
+        found = sorted((SearchMatch(distance, record.id, record.text)
+                        for record, distance in matches),
+                       key=SearchMatch.sort_key)
         stats.num_results += len(found)
         return found
+
+    def search_many(self, queries: Sequence[str],
+                    tau: int | Sequence[int | None] | None = None,
+                    ) -> list[list[SearchMatch]]:
+        """Answer a batch of queries in one grouped index pass.
+
+        ``tau`` is a single threshold for the whole batch or a sequence of
+        per-query thresholds (``None`` entries default to ``max_tau``).
+        Returns one result list per query, aligned with ``queries`` — each
+        element-identical to what :meth:`search` returns for that query,
+        but duplicates in the batch are executed once and queries of the
+        same length share one selection-window computation per indexed
+        length (see :func:`repro.core.engine.probe_many`).
+        """
+        taus = resolve_query_taus(queries, tau, self.max_tau)
+        stats = self.statistics
+        raw = probe_many(
+            list(zip(queries, taus)), index=self._index,
+            short_pool=self._short_pool, selector=self._selector,
+            verifier_factory=lambda group_tau: ExtensionVerifier(group_tau,
+                                                                 stats),
+            stats=stats)
+        return wrap_batch_matches(raw, stats)
 
     # ------------------------------------------------------------------
     def search_top_k(self, query: str, k: int,

@@ -13,8 +13,11 @@ Two flavours over the same wire protocol (see
 Both return :class:`~repro.search.searcher.SearchMatch` objects rebuilt
 from the wire payload via :meth:`SearchMatch.from_dict`, so a round trip
 through the service yields values indistinguishable from a local search.
-Protocol violations and ``ok: false`` responses raise
-:class:`~repro.exceptions.ServiceError`.
+``ok: false`` responses raise :class:`~repro.exceptions.ServiceError`;
+violations of the wire protocol itself — the server closing the connection
+mid-response, a truncated or non-JSON frame, a reset transport — raise the
+more specific :class:`~repro.exceptions.ProtocolError` instead of leaking
+``json.JSONDecodeError`` or ``ConnectionResetError``.
 """
 
 from __future__ import annotations
@@ -22,9 +25,13 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+from typing import Sequence
 
-from ..exceptions import ServiceError
+from ..exceptions import ProtocolError, ServiceError
 from ..search.searcher import SearchMatch
+
+#: Transport errors a closing/resetting server surfaces mid-request.
+_CONNECTION_ERRORS = (ConnectionResetError, BrokenPipeError)
 
 
 def _encode(payload: dict) -> bytes:
@@ -33,13 +40,18 @@ def _encode(payload: dict) -> bytes:
 
 def _decode(line: bytes) -> dict:
     if not line:
-        raise ServiceError("connection closed by server")
+        raise ProtocolError(
+            "server closed the connection before sending a response")
+    if not line.endswith(b"\n"):
+        raise ProtocolError(
+            f"server closed the connection mid-response "
+            f"(half-written frame of {len(line)} bytes)")
     try:
         response = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ServiceError(f"invalid response from server: {error}") from error
+        raise ProtocolError(f"invalid response from server: {error}") from error
     if not isinstance(response, dict):
-        raise ServiceError(f"invalid response from server: {response!r}")
+        raise ProtocolError(f"invalid response from server: {response!r}")
     if not response.get("ok"):
         raise ServiceError(str(response.get("error", "unknown server error")))
     return response
@@ -53,6 +65,21 @@ def _parse_matches(response: dict) -> list[SearchMatch]:
         return [SearchMatch.from_dict(item) for item in payload]
     except ValueError as error:
         raise ServiceError(str(error)) from error
+
+
+def _parse_batch(response: dict) -> list[list[SearchMatch]]:
+    payload = response.get("results")
+    if not isinstance(payload, list):
+        raise ServiceError(f"malformed results payload: {payload!r}")
+    results: list[list[SearchMatch]] = []
+    for matches in payload:
+        if not isinstance(matches, list):
+            raise ServiceError(f"malformed results payload: {matches!r}")
+        try:
+            results.append([SearchMatch.from_dict(item) for item in matches])
+        except ValueError as error:
+            raise ServiceError(str(error)) from error
+    return results
 
 
 class _RequestMixin:
@@ -74,6 +101,14 @@ class _RequestMixin:
         payload: dict = {"op": "top-k", "query": query, "k": k}
         if max_tau is not None:
             payload["max_tau"] = max_tau
+        return payload
+
+    @staticmethod
+    def _search_batch_payload(queries: Sequence[str],
+                              tau: int | None) -> dict:
+        payload: dict = {"op": "search-batch", "queries": list(queries)}
+        if tau is not None:
+            payload["tau"] = tau
         return payload
 
     @staticmethod
@@ -113,14 +148,34 @@ class ServiceClient(_RequestMixin):
             self._sock.close()
 
     def request(self, payload: dict) -> dict:
-        """Send one request object, return the (``ok``) response object."""
-        self._file.write(_encode(payload))
-        self._file.flush()
-        return _decode(self._file.readline())
+        """Send one request object, return the (``ok``) response object.
+
+        A server vanishing mid-exchange surfaces as
+        :class:`~repro.exceptions.ProtocolError`, never as a bare
+        ``ConnectionResetError``/``BrokenPipeError``.
+        """
+        try:
+            self._file.write(_encode(payload))
+            self._file.flush()
+            line = self._file.readline()
+        except _CONNECTION_ERRORS as error:
+            raise ProtocolError(
+                f"connection to server lost mid-request: {error}") from error
+        return _decode(line)
 
     # ------------------------------------------------------------------
     def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
         return _parse_matches(self.request(self._search_payload(query, tau)))
+
+    def search_batch(self, queries: Sequence[str],
+                     tau: int | None = None) -> list[list[SearchMatch]]:
+        """Answer many queries with one ``search-batch`` request line.
+
+        Returns one result list per query, aligned with ``queries`` — the
+        server answers the whole batch with a single grouped index pass.
+        """
+        return _parse_batch(self.request(self._search_batch_payload(queries,
+                                                                    tau)))
 
     def top_k(self, query: str, k: int,
               max_tau: int | None = None) -> list[SearchMatch]:
@@ -166,7 +221,10 @@ class AsyncServiceClient(_RequestMixin):
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        from .server import STREAM_LIMIT  # shared wire-protocol line limit
+
+        reader, writer = await asyncio.open_connection(host, port,
+                                                       limit=STREAM_LIMIT)
         return cls(reader, writer)
 
     async def __aenter__(self) -> "AsyncServiceClient":
@@ -187,17 +245,35 @@ class AsyncServiceClient(_RequestMixin):
 
         A lock pairs each request with its response line, so one client
         object can be shared by concurrent tasks (responses on a single
-        connection are otherwise interleaved in arrival order).
+        connection are otherwise interleaved in arrival order).  As in the
+        blocking client, a server vanishing mid-exchange surfaces as
+        :class:`~repro.exceptions.ProtocolError`.
         """
         async with self._lock:
-            self._writer.write(_encode(payload))
-            await self._writer.drain()
-            return _decode(await self._reader.readline())
+            try:
+                self._writer.write(_encode(payload))
+                await self._writer.drain()
+                line = await self._reader.readline()
+            except _CONNECTION_ERRORS as error:
+                raise ProtocolError(
+                    f"connection to server lost mid-request: {error}"
+                ) from error
+            except ValueError as error:  # response line beyond the limit
+                raise ProtocolError(
+                    f"response line exceeds the stream limit: {error}"
+                ) from error
+            return _decode(line)
 
     # ------------------------------------------------------------------
     async def search(self, query: str,
                      tau: int | None = None) -> list[SearchMatch]:
         return _parse_matches(await self.request(self._search_payload(query, tau)))
+
+    async def search_batch(self, queries: Sequence[str],
+                           tau: int | None = None) -> list[list[SearchMatch]]:
+        """Async counterpart of :meth:`ServiceClient.search_batch`."""
+        return _parse_batch(
+            await self.request(self._search_batch_payload(queries, tau)))
 
     async def top_k(self, query: str, k: int,
                     max_tau: int | None = None) -> list[SearchMatch]:

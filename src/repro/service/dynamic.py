@@ -33,13 +33,14 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..config import PartitionStrategy, validate_threshold
-from ..core.engine import probe_record
+from ..core.engine import probe_many, probe_record
 from ..core.index import SegmentIndex
 from ..core.partition import can_partition
 from ..core.selection import MultiMatchAwareSelector
 from ..core.verify import ExtensionVerifier
 from ..exceptions import InvalidThresholdError
-from ..search.searcher import SearchMatch
+from ..search.searcher import (SearchMatch, resolve_query_taus,
+                               wrap_batch_matches)
 from ..types import JoinStatistics, StringRecord, as_records
 
 
@@ -258,10 +259,10 @@ class DynamicSearcher:
         tombstones = self._tombstones
         accept = None
         if tombstones or exclude:
-            def accept(record: StringRecord) -> bool:
-                if record.id in tombstones:
+            def accept(record_id: int) -> bool:
+                if record_id in tombstones:
                     return False
-                return exclude is None or record.id not in exclude
+                return exclude is None or record_id not in exclude
         matches = probe_record(
             probe, tau=tau, index=self._index,
             short_pool=list(self._short_pool.values()),
@@ -270,6 +271,46 @@ class DynamicSearcher:
         return sorted((SearchMatch(distance, record.id, record.text)
                        for record, distance in matches),
                       key=SearchMatch.sort_key)
+
+    def search_many(self, queries: Sequence[str],
+                    tau: int | Sequence[int | None] | None = None,
+                    ) -> list[list[SearchMatch]]:
+        """Answer a batch of queries in one grouped index pass.
+
+        Batch counterpart of :meth:`search` with the semantics of
+        :meth:`PassJoinSearcher.search_many
+        <repro.search.searcher.PassJoinSearcher.search_many>`: ``tau`` is a
+        scalar for the whole batch or a per-query sequence, duplicates are
+        executed once, same-length queries share their selection windows,
+        and every result list is element-identical to a :meth:`search`
+        call over the same live collection.
+        """
+        taus = resolve_query_taus(queries, tau, self.max_tau)
+        stats = self.statistics
+        tombstones = self._tombstones
+        accept = None
+        if tombstones:
+            def accept(record_id: int) -> bool:
+                return record_id not in tombstones
+        raw = probe_many(
+            list(zip(queries, taus)), index=self._index,
+            short_pool=list(self._short_pool.values()),
+            selector=self._selector,
+            verifier_factory=lambda group_tau: ExtensionVerifier(group_tau,
+                                                                 stats),
+            stats=stats, accept=accept)
+        return wrap_batch_matches(raw, stats)
+
+    def index_memory(self) -> dict[str, int]:
+        """Memory figures of the columnar index (the ``stats`` op payload).
+
+        ``records`` counts live store rows — tombstoned records remain
+        until compaction purges them; ``approximate_bytes`` covers the
+        inverted lists plus the record columns (see
+        :meth:`SegmentIndex.memory_report
+        <repro.core.index.SegmentIndex.memory_report>`).
+        """
+        return self._index.memory_report()
 
     def _any_live_length_within(self, query_length: int, tau: int) -> bool:
         """True when some live record passes the length filter at ``tau``."""

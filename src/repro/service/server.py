@@ -5,10 +5,11 @@ Two classes split the serving stack along the transport boundary:
 * :class:`SimilarityService` — the transport-free core.  It owns the
   :class:`~repro.service.dynamic.DynamicSearcher`, the
   :class:`~repro.service.cache.QueryCache`, and the request vocabulary
-  (``search`` / ``top-k`` / ``insert`` / ``delete`` / ``compact`` /
-  ``stats`` / ``ping``), mapping request dictionaries to response
-  dictionaries.  Tests, the smoke script, and future transports talk to
-  this object directly.
+  (``search`` / ``top-k`` / ``search-batch`` / ``insert`` / ``delete`` /
+  ``compact`` / ``stats`` / ``ping``), mapping request dictionaries to
+  response dictionaries.  Tests, the smoke script, and future transports
+  talk to this object directly.  Cache-missing searches of a batch are
+  answered by one grouped ``search_many()`` index pass.
 * :class:`SimilarityServer` — the asyncio JSON-lines TCP transport.  One
   request object per line, one response object per line, UTF-8.  Query
   operations flow through a :class:`~repro.service.batcher.RequestBatcher`
@@ -51,11 +52,20 @@ from .sharding import ShardRouter
 
 #: Query operations routed through the batcher by the TCP transport.
 QUERY_OPS = ("search", "top-k")
+#: The batch query operation (one request carrying many search queries).
+BATCH_OP = "search-batch"
 #: Every operation the service understands.
-ALL_OPS = QUERY_OPS + ("insert", "delete", "compact", "stats", "ping", "shutdown")
+ALL_OPS = QUERY_OPS + (BATCH_OP, "insert", "delete", "compact", "stats",
+                       "ping", "shutdown")
 
 #: Query keys are tuples: ("search", query, tau) or ("top-k", query, k, limit).
 QueryKey = tuple
+
+#: Byte limit for one JSON line on the asyncio streams.  asyncio's default
+#: is 64 KiB, which a legal ``search-batch`` request (or a many-match
+#: response) easily exceeds; both the server and the async client size
+#: their streams with this instead.
+STREAM_LIMIT = 16 * 1024 * 1024
 
 
 def _require_str(payload: dict, field: str) -> str:
@@ -141,14 +151,41 @@ class SimilarityService:
             return ("top-k", query, k, limit)
         raise ValueError(f"not a query op: {op!r}")
 
+    def build_batch_keys(self, payload: dict) -> list[QueryKey]:
+        """Validate a ``search-batch`` request into per-query search keys.
+
+        The request carries ``queries`` (a list of strings) and an optional
+        scalar ``tau`` applied to every query.  Batch size is bounded by
+        :attr:`~repro.config.ServiceConfig.max_query_batch` so one request
+        line cannot monopolise the server.  Validation happens before the
+        keys reach the batcher, mirroring :meth:`build_query_key`.
+        """
+        queries = payload.get("queries")
+        if (not isinstance(queries, list)
+                or not all(isinstance(query, str) for query in queries)):
+            raise ValueError(
+                f"field 'queries' must be a list of strings, got {queries!r}")
+        limit = self.config.max_query_batch
+        if limit and len(queries) > limit:
+            raise ValueError(f"batch of {len(queries)} queries exceeds "
+                             f"max_query_batch={limit}")
+        tau = payload.get("tau")
+        return [self.build_query_key({"op": "search", "query": query,
+                                      "tau": tau})
+                for query in queries]
+
     def execute_queries(self, keys: Sequence[QueryKey],
                         ) -> list[tuple[list[SearchMatch], bool]]:
         """Answer a batch of validated query keys in one pass.
 
         Returns ``(matches, cached)`` per key.  This is the
         :class:`~repro.service.batcher.RequestBatcher` execute hook: no
-        mutation can interleave with the loop, so every answer in a batch
-        reflects the same collection snapshot.
+        mutation can interleave with the call, so every answer in a batch
+        reflects the same collection snapshot.  Cache misses of kind
+        ``search`` are answered by **one** grouped ``search_many()`` index
+        pass over the whole batch (duplicates probed once, same-length
+        queries sharing their selection windows) instead of one pass per
+        unique query; top-k misses widen per query as before.
 
         Cache keying depends on the serving backend.  Unsharded, the plain
         query key is presented together with the scalar epoch and a
@@ -161,8 +198,9 @@ class SimilarityService:
         """
         epoch_token = getattr(self.searcher, "epoch_token", None)
         epoch = self.searcher.epoch
-        answers: list[tuple[list[SearchMatch], bool]] = []
-        for key in keys:
+        answers: list[tuple[list[SearchMatch], bool] | None] = [None] * len(keys)
+        pending: list[tuple[int, QueryKey, QueryKey, int]] = []
+        for position, key in enumerate(keys):
             self.queries_served += 1
             if epoch_token is None:
                 cache_key, cache_epoch = key, epoch
@@ -170,15 +208,27 @@ class SimilarityService:
                 cache_key, cache_epoch = key + (epoch_token(key),), 0
             cached = self.cache.get(cache_key, cache_epoch)
             if cached is not None:
-                answers.append((cached, True))
+                answers[position] = (cached, True)
                 continue
             if key[0] == "search":
-                matches = self.searcher.search(key[1], key[2])
-            else:
-                matches = self.searcher.search_top_k(key[1], key[2], key[3])
+                pending.append((position, key, cache_key, cache_epoch))
+                continue
+            matches = self.searcher.search_top_k(key[1], key[2], key[3])
             self.cache.put(cache_key, cache_epoch, matches)
-            answers.append((matches, False))
-        return answers
+            answers[position] = (matches, False)
+        if pending:
+            search_many = getattr(self.searcher, "search_many", None)
+            if search_many is not None:
+                batches = search_many([key[1] for _, key, _, _ in pending],
+                                      tau=[key[2] for _, key, _, _ in pending])
+            else:  # duck-typed searcher without a batch path
+                batches = [self.searcher.search(key[1], key[2])
+                           for _, key, _, _ in pending]
+            for (position, _, cache_key, cache_epoch), matches in zip(
+                    pending, batches):
+                self.cache.put(cache_key, cache_epoch, matches)
+                answers[position] = (matches, False)
+        return answers  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -193,6 +243,10 @@ class SimilarityService:
                 key = self.build_query_key(payload)
                 matches, cached = self.execute_queries([key])[0]
                 return self._query_response(matches, cached)
+            if op == BATCH_OP:
+                keys = self.build_batch_keys(payload)
+                answers = self.execute_queries(keys)
+                return self._batch_response(answers, self.searcher.epoch)
             if op == "insert":
                 text = _require_str(payload, "text")
                 record_id = (None if payload.get("id") is None
@@ -229,18 +283,35 @@ class SimilarityService:
         return {"ok": True, "matches": [match.to_dict() for match in matches],
                 "cached": cached, "epoch": self.searcher.epoch}
 
+    @staticmethod
+    def _batch_response(answers: Sequence[tuple[list[SearchMatch], bool]],
+                        epoch: int) -> dict:
+        return {"ok": True,
+                "results": [[match.to_dict() for match in matches]
+                            for matches, _ in answers],
+                "cached": [cached for _, cached in answers],
+                "epoch": epoch}
+
     def stats(self) -> dict:
-        """Service-level counters (the ``stats`` op payload minus ``ok``)."""
+        """Service-level counters (the ``stats`` op payload minus ``ok``).
+
+        ``index`` carries the columnar store's memory figures (record and
+        posting counts, ``approximate_bytes``); under sharding they are
+        fleet-wide sums, with the per-shard breakdown under
+        ``shards.memory``.
+        """
         searcher = self.searcher
         if isinstance(searcher, ShardRouter):
-            # One status scatter covers tombstones and statistics; going
-            # through the two properties separately would scatter twice.
+            # One status scatter covers tombstones, statistics, and memory;
+            # going through the properties separately would scatter thrice.
             summary = searcher.status_summary()
             tombstones = summary["tombstones"]
             statistics = summary["statistics"]
+            memory = summary["memory"]
         else:
             tombstones = searcher.tombstone_count
             statistics = searcher.statistics
+            memory = searcher.index_memory()
         payload = {
             "size": len(searcher),
             "epoch": searcher.epoch,
@@ -248,6 +319,7 @@ class SimilarityService:
             "max_tau": searcher.max_tau,
             "queries_served": self.queries_served,
             "cache": self.cache.stats.as_dict(),
+            "index": memory,
             "index_entries": statistics.index_entries,
             "index_bytes": statistics.index_bytes,
         }
@@ -258,6 +330,7 @@ class SimilarityService:
                 "backend": searcher.backend,
                 "sizes": searcher.shard_sizes(),
                 "epoch_vector": list(searcher.epoch_vector),
+                "memory": summary["shard_memory"],
             }
         return payload
 
@@ -301,7 +374,8 @@ class SimilarityServer:
             raise ServiceError("server is already running")
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(self._handle_connection,
-                                                  self.host, self.port)
+                                                  self.host, self.port,
+                                                  limit=STREAM_LIMIT)
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
         return self.address
@@ -327,7 +401,18 @@ class SimilarityServer:
                                  writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # A request line beyond STREAM_LIMIT; the rest of the
+                    # line is unread, so framing is lost — answer with one
+                    # error and hang up rather than misparse what follows.
+                    writer.write(json.dumps(
+                        {"ok": False,
+                         "error": f"request line exceeds {STREAM_LIMIT} "
+                                  f"bytes"}).encode("utf-8") + b"\n")
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 stripped = line.strip()
@@ -342,6 +427,8 @@ class SimilarityServer:
                     op = payload.get("op") if isinstance(payload, dict) else None
                     if op in QUERY_OPS:
                         response = await self._handle_query(payload)
+                    elif op == BATCH_OP:
+                        response = await self._handle_batch(payload)
                     elif op == "shutdown":
                         response = {"ok": True, "stopping": True}
                         stopping = True
@@ -374,6 +461,34 @@ class SimilarityServer:
             # letting the exception tear down the connection.
             return {"ok": False, "error": str(error)}
         return self.service._query_response(matches, cached)
+
+    async def _handle_batch(self, payload: dict) -> dict:
+        """Answer one ``search-batch`` request line.
+
+        Every query joins the shared :class:`RequestBatcher` batch — so a
+        batch request coalesces with whatever concurrent single queries are
+        in flight, and the drain answers them all with one grouped
+        ``search_many()`` pass through the serving core.
+
+        Snapshot semantics: answers within one batcher drain share a
+        collection snapshot, so a request of up to ``config.max_batch``
+        queries is normally answered atomically.  A larger request spans
+        several drains, between which concurrent mutations may commit —
+        individual answers are each exact for some recent snapshot, but
+        the batch as a whole (and its single ``epoch`` field, read after
+        the last drain) is not guaranteed to be one snapshot.
+        """
+        try:
+            keys = self.service.build_batch_keys(payload)
+        except (ValueError, TypeError) as error:
+            return {"ok": False, "error": str(error)}
+        try:
+            answers = await asyncio.gather(
+                *(self.batcher.submit(key) for key in keys))
+        except (ValueError, TypeError, ServiceError) as error:
+            return {"ok": False, "error": str(error)}
+        return self.service._batch_response(answers,
+                                            self.service.searcher.epoch)
 
 
 async def run_service(strings: Iterable[str | StringRecord],

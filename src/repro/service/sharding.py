@@ -46,7 +46,7 @@ from ..config import (SHARD_BACKENDS, SHARD_POLICIES, PartitionStrategy,
                       validate_threshold)
 from ..core.parallel import available_workers
 from ..exceptions import ConfigurationError, InvalidThresholdError, ServiceError
-from ..search.searcher import SearchMatch
+from ..search.searcher import SearchMatch, resolve_query_taus
 from ..types import JoinStatistics, StringRecord, as_records
 from .dynamic import DynamicSearcher, coerce_insert_record
 
@@ -170,6 +170,9 @@ def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
     if op == "search":
         query, tau = args
         return searcher.search(query, tau)
+    if op == "search-many":
+        return searcher.search_many([query for query, _ in args],
+                                    tau=[tau for _, tau in args])
     if op == "top-k":
         query, k, limit = args
         return searcher.search_top_k(query, k, limit)
@@ -184,7 +187,8 @@ def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
     if op == "status":
         return {"size": len(searcher),
                 "tombstones": searcher.tombstone_count,
-                "statistics": searcher.statistics}
+                "statistics": searcher.statistics,
+                "memory": searcher.index_memory()}
     raise ServiceError(f"unknown shard op {op!r}")
 
 
@@ -376,8 +380,15 @@ class ShardRouter:
     # ------------------------------------------------------------------
     def _scatter(self, targets: Sequence[int], op: str,
                  args: object) -> list:
-        """Send one op to every target shard, then collect every reply.
+        """Send one op (same args) to every target shard; collect replies."""
+        return self._scatter_each(targets, op, [args] * len(targets))
 
+    def _scatter_each(self, targets: Sequence[int], op: str,
+                      args_list: Sequence[object]) -> list:
+        """Send one op with per-shard args, then collect every reply.
+
+        ``args_list`` is aligned with ``targets`` (the batch executor
+        sends each shard only the sub-batch of queries that probe it).
         Both phases run to completion before any error is re-raised: a
         failed send (dead worker) must not stop the reply of an
         already-sent shard from being drained — a process shard's pipe
@@ -388,7 +399,7 @@ class ShardRouter:
         """
         first_error: Exception | None = None
         sent: set[int] = set()
-        for shard in targets:
+        for shard, args in zip(targets, args_list):
             try:
                 self._shards[shard].send(op, args)
             except Exception as error:  # noqa: BLE001 - re-raised below
@@ -474,18 +485,30 @@ class ShardRouter:
         return self._scatter(range(self.num_shards), "status", None)
 
     def status_summary(self) -> dict:
-        """Fleet-wide tombstone count and merged statistics in one scatter.
+        """Fleet-wide tombstones, merged statistics, and memory in one scatter.
 
         The single aggregation point over :meth:`shard_status` — callers
-        needing both values (the service ``stats`` op) pay one round of
-        shard IPC instead of one per property.
+        needing several of these values (the service ``stats`` op) pay one
+        round of shard IPC instead of one per property.  ``memory`` sums
+        the per-shard columnar-index figures; ``shard_memory`` keeps the
+        per-shard breakdown for the sharded ``stats`` payload.
         """
         tombstones = 0
         merged = JoinStatistics()
+        memory: dict[str, int] = {}
+        shard_memory: list[dict[str, int]] = []
         for status in self.shard_status():
             tombstones += status["tombstones"]
             merged = merged.merge(status["statistics"])
-        return {"tombstones": tombstones, "statistics": merged}
+            shard_memory.append(status["memory"])
+            for field, value in status["memory"].items():
+                memory[field] = memory.get(field, 0) + value
+        return {"tombstones": tombstones, "statistics": merged,
+                "memory": memory, "shard_memory": shard_memory}
+
+    def index_memory(self) -> dict[str, int]:
+        """Summed per-shard columnar-index memory figures (one scatter)."""
+        return self.status_summary()["memory"]
 
     def shard_sizes(self) -> list[int]:
         """Number of live records per shard (placement balance check)."""
@@ -544,6 +567,42 @@ class ShardRouter:
         gathered = self._scatter(targets, "search", (query, tau))
         merged = [match for bucket in gathered for match in bucket]
         merged.sort(key=SearchMatch.sort_key)
+        return merged
+
+    def search_many(self, queries: Sequence[str],
+                    tau: int | Sequence[int | None] | None = None,
+                    ) -> list[list[SearchMatch]]:
+        """Answer a batch of threshold searches in one scatter round.
+
+        Each shard receives only the sub-batch of queries whose probe set
+        includes it (a pure function of query length and threshold under
+        the placement policy), runs its own grouped
+        :meth:`DynamicSearcher.search_many
+        <repro.service.dynamic.DynamicSearcher.search_many>` pass, and the
+        router merges the per-shard answers under the canonical
+        ``(distance, id)`` ordering.  Results are element-identical to the
+        unsharded batch (and therefore to per-query :meth:`search` calls).
+        """
+        taus = resolve_query_taus(queries, tau, self.max_tau)
+        sub_batches: dict[int, list[tuple[int, str, int]]] = {}
+        for position, (query, query_tau) in enumerate(zip(queries, taus)):
+            for shard in self.policy.probe_shards(len(query), query_tau):
+                sub_batches.setdefault(shard, []).append(
+                    (position, query, query_tau))
+        merged: list[list[SearchMatch]] = [[] for _ in queries]
+        targets = sorted(sub_batches)
+        if targets:
+            gathered = self._scatter_each(
+                targets, "search-many",
+                [tuple((query, query_tau)
+                       for _, query, query_tau in sub_batches[shard])
+                 for shard in targets])
+            for shard, bucket in zip(targets, gathered):
+                for (position, _, _), matches in zip(sub_batches[shard],
+                                                     bucket):
+                    merged[position].extend(matches)
+        for matches in merged:
+            matches.sort(key=SearchMatch.sort_key)
         return merged
 
     def search_top_k(self, query: str, k: int,

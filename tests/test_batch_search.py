@@ -1,0 +1,286 @@
+"""Tests for the batch-probe executor (``search_many`` / ``search-batch``).
+
+The load-bearing property (the PR's acceptance criterion): over random
+query batches interleaved with insert/delete/compact, ``search_many()`` is
+**element-identical** to sequential ``search()`` calls — on the static
+searcher, the dynamic searcher, and a 2-shard router under both placement
+policies.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ServiceConfig
+from repro.exceptions import InvalidThresholdError
+from repro.search import PassJoinSearcher
+from repro.service import (BackgroundServer, DynamicSearcher, ServiceClient,
+                           ShardRouter, SimilarityService)
+from repro.service.client import AsyncServiceClient
+from repro.service.server import ALL_OPS, BATCH_OP
+
+from helpers import random_strings
+
+
+class TestSearchManyStatic:
+    def test_matches_sequential(self):
+        strings = random_strings(120, 2, 14, alphabet="abc", seed=3)
+        searcher = PassJoinSearcher(strings, max_tau=2)
+        queries = random_strings(30, 2, 14, alphabet="abc", seed=4)
+        assert searcher.search_many(queries, tau=2) == [
+            searcher.search(query, tau=2) for query in queries]
+
+    def test_duplicates_get_independent_result_lists(self):
+        searcher = PassJoinSearcher(["vldb", "pvldb"], max_tau=1)
+        first, second = searcher.search_many(["vldb", "vldb"], tau=1)
+        assert first == second
+        first.pop()
+        assert len(second) == 2  # no aliasing between duplicate answers
+
+    def test_per_query_taus(self):
+        searcher = PassJoinSearcher(["vldb", "pvldb", "sigmod"], max_tau=2)
+        loose, tight, default = searcher.search_many(
+            ["vldb", "vldb", "vldb"], tau=[2, 0, None])
+        assert loose == searcher.search("vldb", tau=2)
+        assert tight == searcher.search("vldb", tau=0)
+        assert default == searcher.search("vldb")
+
+    def test_empty_batch(self):
+        searcher = PassJoinSearcher(["vldb"], max_tau=1)
+        assert searcher.search_many([]) == []
+
+    def test_tau_above_max_rejected(self):
+        searcher = PassJoinSearcher(["vldb"], max_tau=1)
+        with pytest.raises(InvalidThresholdError):
+            searcher.search_many(["vldb"], tau=2)
+        with pytest.raises(InvalidThresholdError):
+            searcher.search_many(["vldb", "vldb"], tau=[1, 2])
+
+    def test_mismatched_tau_sequence_rejected(self):
+        searcher = PassJoinSearcher(["vldb"], max_tau=1)
+        with pytest.raises(ValueError):
+            searcher.search_many(["vldb"], tau=[1, 1])
+
+    def test_short_strings_and_empty_queries(self):
+        strings = ["a", "ab", "abcdef", "abcdeg"]
+        searcher = PassJoinSearcher(strings, max_tau=2)
+        queries = ["", "a", "ab", "abcdef", "zzzzzz"]
+        assert searcher.search_many(queries, tau=2) == [
+            searcher.search(query, tau=2) for query in queries]
+
+
+class TestSearchManyDynamic:
+    def test_tombstones_are_filtered(self):
+        searcher = DynamicSearcher(["vldb", "pvldb", "sigmod"], max_tau=1,
+                                   compact_interval=100)
+        searcher.delete(1)
+        batch = searcher.search_many(["vldb", "pvldb"], tau=1)
+        assert batch == [searcher.search("vldb", tau=1),
+                         searcher.search("pvldb", tau=1)]
+        assert all(match.id != 1
+                   for matches in batch for match in matches)
+
+    def test_matches_sequential_after_mutations(self):
+        searcher = DynamicSearcher(max_tau=2, compact_interval=2)
+        for text in random_strings(60, 2, 12, alphabet="abc", seed=9):
+            searcher.insert(text)
+        for record_id in (3, 10, 25, 40):
+            searcher.delete(record_id)
+        queries = random_strings(20, 2, 12, alphabet="abc", seed=10)
+        assert searcher.search_many(queries, tau=2) == [
+            searcher.search(query, tau=2) for query in queries]
+
+
+# ----------------------------------------------------------------------
+# The acceptance property: batches under interleaved mutations
+# ----------------------------------------------------------------------
+MUTATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.text(alphabet="ab", max_size=8)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("compact"), st.just(None)),
+    ), max_size=15)
+
+BATCHES = st.lists(
+    st.lists(st.text(alphabet="ab", max_size=8), min_size=1, max_size=6),
+    min_size=1, max_size=3)
+
+
+def _apply(searcher, ops, live):
+    for op in ops:
+        if op[0] == "insert":
+            searcher.insert(op[1])
+            live.add(max(live, default=-1) + 1)
+        elif op[0] == "delete":
+            target = op[1] % (max(live) + 1) if live else 0
+            searcher.delete(target)
+            live.discard(target)
+        else:
+            searcher.compact()
+
+
+class TestBatchEquivalenceProperty:
+    @given(ops=MUTATIONS, batches=BATCHES,
+           max_tau=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_unsharded(self, ops, batches, max_tau):
+        searcher = DynamicSearcher(max_tau=max_tau, compact_interval=2)
+        live: set[int] = set()
+        _apply(searcher, ops, live)
+        for batch in batches:
+            assert searcher.search_many(batch) == [
+                searcher.search(query) for query in batch]
+            _apply(searcher, ops[:3], live)
+
+    @pytest.mark.parametrize("policy", ["hash", "length"])
+    @given(ops=MUTATIONS, batches=BATCHES,
+           max_tau=st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_two_shards_both_policies(self, policy, ops, batches, max_tau):
+        single = DynamicSearcher(max_tau=max_tau, compact_interval=2)
+        router = ShardRouter(shards=2, max_tau=max_tau, policy=policy,
+                             backend="thread", compact_interval=2)
+        with router:
+            live: set[int] = set()
+            _apply(single, ops, live)
+            live_router: set[int] = set()
+            _apply(router, ops, live_router)
+            for batch in batches:
+                expected = [single.search(query) for query in batch]
+                assert router.search_many(batch) == expected
+                assert single.search_many(batch) == expected
+
+
+class TestShardRouterSearchMany:
+    def test_matches_sequential_and_unsharded(self):
+        strings = random_strings(50, 2, 12, alphabet="abc", seed=15)
+        single = DynamicSearcher(strings, max_tau=2)
+        for policy in ("hash", "length"):
+            with ShardRouter(strings, shards=3, max_tau=2, policy=policy,
+                             backend="thread") as router:
+                queries = random_strings(12, 2, 12, alphabet="abc", seed=16)
+                batch = router.search_many(queries, tau=2)
+                assert batch == [single.search(query, tau=2)
+                                 for query in queries]
+
+    def test_per_query_taus_route_to_the_right_shards(self):
+        strings = ["ab", "abc", "abcdef", "abcdefg"]
+        single = DynamicSearcher(strings, max_tau=2)
+        with ShardRouter(strings, shards=2, max_tau=2, policy="length",
+                         backend="thread") as router:
+            queries = ["ab", "abcdef", "abcd"]
+            taus = [0, 2, 1]
+            assert router.search_many(queries, tau=taus) == [
+                single.search(query, tau=tau)
+                for query, tau in zip(queries, taus)]
+
+
+# ----------------------------------------------------------------------
+# Serving-core and wire-protocol integration
+# ----------------------------------------------------------------------
+class TestServiceBatch:
+    def test_execute_queries_batches_search_misses(self):
+        service = SimilarityService(["vldb", "pvldb", "sigmod"],
+                                    ServiceConfig(max_tau=2))
+        keys = [("search", "vldb", 1), ("search", "vldb", 1),
+                ("top-k", "sigmod", 1, 2), ("search", "sigmod", 0)]
+        answers = service.execute_queries(keys)
+        assert [cached for _, cached in answers] == [False, False, False, False]
+        assert answers[0][0] == service.searcher.search("vldb", 1)
+        assert answers[1][0] == answers[0][0]
+        assert answers[2][0] == service.searcher.search_top_k("sigmod", 1, 2)
+        # The repeat hits the cache now.
+        again = service.execute_queries([("search", "vldb", 1)])
+        assert again[0][1] is True
+
+    def test_search_batch_op(self):
+        service = SimilarityService(["vldb", "pvldb"], ServiceConfig(max_tau=1))
+        response = service.handle_request(
+            {"op": "search-batch", "queries": ["vldb", "nope"], "tau": 1})
+        assert response["ok"] is True
+        assert [m["text"] for m in response["results"][0]] == ["vldb", "pvldb"]
+        assert response["results"][1] == []
+        assert response["cached"] == [False, False]
+        assert BATCH_OP in ALL_OPS
+
+    def test_search_batch_op_validates(self):
+        service = SimilarityService(["vldb"], ServiceConfig(max_tau=1))
+        bad = service.handle_request({"op": "search-batch", "queries": "vldb"})
+        assert bad["ok"] is False and "queries" in bad["error"]
+        bad_tau = service.handle_request(
+            {"op": "search-batch", "queries": ["vldb"], "tau": 9})
+        assert bad_tau["ok"] is False
+
+    def test_max_query_batch_is_enforced(self):
+        service = SimilarityService(
+            ["vldb"], ServiceConfig(max_tau=1, max_query_batch=2))
+        response = service.handle_request(
+            {"op": "search-batch", "queries": ["a", "b", "c"]})
+        assert response["ok"] is False
+        assert "max_query_batch" in response["error"]
+
+    def test_stats_include_index_memory(self):
+        service = SimilarityService(["vldb", "pvldb"], ServiceConfig(max_tau=1))
+        stats = service.stats()
+        assert stats["index"]["records"] == 2
+        assert stats["index"]["approximate_bytes"] > 0
+
+    def test_sharded_stats_include_per_shard_memory(self):
+        config = ServiceConfig(max_tau=1, shards=2, shard_backend="thread")
+        service = SimilarityService(["vldb", "pvldb", "icde"], config)
+        try:
+            stats = service.stats()
+            assert len(stats["shards"]["memory"]) == 2
+            assert stats["index"]["records"] == sum(
+                shard["records"] for shard in stats["shards"]["memory"])
+        finally:
+            service.close()
+
+
+class TestBatchOverTheWire:
+    def test_sync_client_search_batch(self):
+        with BackgroundServer(["vldb", "pvldb", "sigmod"],
+                              ServiceConfig(port=0, max_tau=2)) as (host, port):
+            with ServiceClient(host, port) as client:
+                queries = ["vldb", "sigmod", "vldb", "zzz"]
+                batched = client.search_batch(queries, tau=1)
+                assert batched == [client.search(query, tau=1)
+                                   for query in queries]
+
+    def test_async_client_search_batch(self):
+        async def scenario(host, port):
+            async with await AsyncServiceClient.connect(host, port) as client:
+                batched = await client.search_batch(["vldb", "pvldb"], tau=1)
+                singles = [await client.search(query, tau=1)
+                           for query in ("vldb", "pvldb")]
+                return batched, singles
+
+        with BackgroundServer(["vldb", "pvldb"],
+                              ServiceConfig(port=0, max_tau=1)) as (host, port):
+            batched, singles = asyncio.run(scenario(host, port))
+            assert batched == singles
+
+    def test_large_batch_exceeding_64k_line_is_served(self):
+        # Regression: asyncio streams default to a 64 KiB line limit, which
+        # a legal search-batch request under max_query_batch easily
+        # exceeds; the server sizes its streams with STREAM_LIMIT instead.
+        with BackgroundServer(["vldb", "pvldb"],
+                              ServiceConfig(port=0, max_tau=1)) as (host, port):
+            with ServiceClient(host, port) as client:
+                queries = [f"padding-{i:06d}-{'x' * 64}"
+                           for i in range(1000)] + ["vldb"]
+                results = client.search_batch(queries, tau=1)
+                assert len(results) == 1001
+                assert [m.text for m in results[-1]] == ["vldb", "pvldb"]
+                assert all(matches == [] for matches in results[:-1])
+
+    def test_sharded_server_search_batch(self):
+        config = ServiceConfig(port=0, max_tau=2, shards=2,
+                               shard_backend="thread")
+        with BackgroundServer(["vldb", "pvldb", "sigmod", "icde"],
+                              config) as (host, port):
+            with ServiceClient(host, port) as client:
+                queries = ["vldb", "icde", "sigmod"]
+                assert client.search_batch(queries, tau=1) == [
+                    client.search(query, tau=1) for query in queries]

@@ -176,6 +176,38 @@ class TestServeAndQuery:
         assert code == 1
         assert "cannot reach server" in capsys.readouterr().err
 
+    def test_query_file_batches_against_running_server(self, tmp_path, capsys):
+        from repro.config import ServiceConfig
+        from repro.service import BackgroundServer
+
+        queries_file = tmp_path / "queries.txt"
+        queries_file.write_text("vldb\nsigmod\nzzz\n", encoding="utf-8")
+        with BackgroundServer(["vldb", "pvldb", "sigmod"],
+                              ServiceConfig(port=0, max_tau=2)) as (host, port):
+            assert main(["query", "--file", str(queries_file), "--tau", "1",
+                         "--host", host, "--port", str(port)]) == 0
+            captured = capsys.readouterr()
+            assert "vldb\t0\t0\tvldb" in captured.out
+            assert "vldb\t1\t1\tpvldb" in captured.out
+            assert "sigmod\t2\t0\tsigmod" in captured.out
+            assert "zzz" not in captured.out  # no matches, no lines
+            assert "queries=3 matches=3" in captured.err
+
+    def test_query_requires_text_or_file(self, tmp_path, capsys):
+        assert main(["query"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        queries_file = tmp_path / "queries.txt"
+        queries_file.write_text("vldb\n", encoding="utf-8")
+        assert main(["query", "vldb", "--file", str(queries_file)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_query_file_rejects_top_k(self, tmp_path, capsys):
+        queries_file = tmp_path / "queries.txt"
+        queries_file.write_text("vldb\n", encoding="utf-8")
+        assert main(["query", "--file", str(queries_file),
+                     "--top-k", "2"]) == 2
+        assert "--top-k" in capsys.readouterr().err
+
     def test_serve_wires_flags_into_config(self, strings_file, monkeypatch,
                                            capsys):
         import repro.cli as cli

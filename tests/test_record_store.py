@@ -1,0 +1,146 @@
+"""Unit tests for the columnar record store and the posting views."""
+
+from array import array
+
+import pytest
+
+from repro.core.index import SegmentIndex
+from repro.core.store import PostingList, RecordStore
+from repro.types import StringRecord
+
+
+def _record(identifier, text):
+    return StringRecord(id=identifier, text=text)
+
+
+class TestInterning:
+    def test_intern_returns_columns(self):
+        store = RecordStore()
+        row = store.intern(_record(7, "vldb"))
+        assert store.id_at(row) == 7
+        assert store.text_at(row) == "vldb"
+        assert store.length_at(row) == 4
+        assert store.record_at(row) == _record(7, "vldb")
+        assert store.sort_key(row) == ("vldb", 7)
+
+    def test_same_record_interns_to_same_row(self):
+        store = RecordStore()
+        first = store.intern(_record(1, "abcd"))
+        second = store.intern(_record(1, "abcd"))
+        assert first == second
+        assert store.live_count == 1
+
+    def test_distinct_ids_get_distinct_rows(self):
+        store = RecordStore()
+        rows = {store.intern(_record(i, "abcd")) for i in range(3)}
+        assert len(rows) == 3
+        assert store.live_count == 3
+
+    def test_same_id_different_text_gets_its_own_row(self):
+        # The dynamic index re-uses tombstoned ids with new texts; the two
+        # rows must coexist while the stale one is being purged.
+        store = RecordStore()
+        old = store.intern(_record(1, "abcd"))
+        new = store.intern(_record(1, "wxyz"))
+        assert old != new
+        assert store.text_at(old) == "abcd"
+        assert store.text_at(new) == "wxyz"
+
+    def test_find(self):
+        store = RecordStore()
+        row = store.intern(_record(3, "abc"))
+        assert store.find(3, "abc") == row
+        assert store.find(3, "abd") is None
+        assert store.find(4, "abc") is None
+
+
+class TestRelease:
+    def test_release_balances_intern(self):
+        store = RecordStore()
+        row = store.intern(_record(0, "abcd"))
+        store.intern(_record(0, "abcd"))
+        assert store.release(row) == 1
+        assert store.is_live(row)
+        assert store.release(row) == 0
+        assert not store.is_live(row)
+        assert store.find(0, "abcd") is None
+        assert store.live_count == 0
+
+    def test_over_release_raises(self):
+        store = RecordStore()
+        row = store.intern(_record(0, "abcd"))
+        store.release(row)
+        with pytest.raises(ValueError):
+            store.release(row)
+
+    def test_freed_rows_are_recycled(self):
+        store = RecordStore()
+        row = store.intern(_record(0, "abcd"))
+        store.release(row)
+        recycled = store.intern(_record(9, "wxyz"))
+        assert recycled == row
+        assert store.row_count == 1
+        assert store.record_at(recycled) == _record(9, "wxyz")
+
+    def test_accounting_shrinks_on_release(self):
+        store = RecordStore()
+        row = store.intern(_record(0, "abcdefgh"))
+        full = store.approximate_bytes()
+        store.release(row)
+        assert store.approximate_bytes() < full
+        assert store.deep_bytes() > 0
+
+
+class TestPostingList:
+    def test_lazy_record_view(self):
+        store = RecordStore()
+        rows = array("q", (store.intern(_record(0, "abcd")),
+                           store.intern(_record(1, "abzz"))))
+        view = PostingList(store, rows)
+        assert len(view) == 2
+        assert list(view) == [_record(0, "abcd"), _record(1, "abzz")]
+        assert view[1] == _record(1, "abzz")
+        assert view[0:2] == [_record(0, "abcd"), _record(1, "abzz")]
+        assert view == [_record(0, "abcd"), _record(1, "abzz")]
+
+
+class TestIndexStoreIntegration:
+    def test_index_owns_a_store_by_default(self):
+        index = SegmentIndex(tau=1)
+        index.add(_record(0, "abcd"))
+        assert index.store.live_count == 1
+
+    def test_shared_store_across_indices(self):
+        store = RecordStore()
+        first = SegmentIndex(tau=1, store=store)
+        second = SegmentIndex(tau=2, store=store)
+        first.add(_record(0, "abcdef"))
+        second.add(_record(0, "abcdef"))
+        assert store.live_count == 1  # one interned row, two references
+
+    def test_remove_releases_the_row(self):
+        index = SegmentIndex(tau=1)
+        record = _record(0, "abcd")
+        index.add(record)
+        index.remove(record)
+        assert index.store.live_count == 0
+
+    def test_evict_below_releases_rows(self):
+        index = SegmentIndex(tau=1)
+        index.add(_record(0, "abcd"))
+        index.add(_record(1, "abcdef"))
+        index.evict_below(6)
+        assert index.store.live_count == 1
+        assert index.records_with_length(4) == 0
+
+    def test_memory_report_and_object_layout(self):
+        index = SegmentIndex(tau=2)
+        for i, text in enumerate(["abcdef", "abcxyz", "qwerty"]):
+            index.add(_record(i, text))
+        report = index.memory_report()
+        assert report["records"] == 3
+        assert report["postings"] == 9
+        assert report["approximate_bytes"] == (report["postings_bytes"]
+                                               + report["store_bytes"])
+        # The columnar layout must undercut the object-list counterfactual.
+        assert report["approximate_bytes"] < index.object_layout_bytes()

@@ -1,0 +1,106 @@
+"""Wire-protocol violation handling in the service clients.
+
+A server that dies mid-exchange must surface as
+:class:`~repro.exceptions.ProtocolError` (a :class:`ServiceError`
+subclass), never as a bare ``json.JSONDecodeError`` or
+``ConnectionResetError``.  The fake server below accepts one connection,
+reads one request line, answers with a configurable byte string (possibly
+a half-written frame), and closes the socket.
+"""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.exceptions import ProtocolError, ServiceError
+from repro.service.client import AsyncServiceClient, ServiceClient
+
+
+class HalfWritingServer:
+    """Accept one client, read one line, reply with ``frame``, hang up."""
+
+    def __init__(self, frame: bytes, *, reset: bool = False) -> None:
+        self.frame = frame
+        self.reset = reset
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self) -> None:
+        conn, _ = self._listener.accept()
+        with conn:
+            conn.makefile("rb").readline()  # wait for the request
+            if self.frame:
+                conn.sendall(self.frame)
+            if self.reset:
+                # An abortive close (SO_LINGER 0) sends RST instead of FIN,
+                # which surfaces client-side as ConnectionResetError.
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+
+    def __enter__(self) -> tuple[str, int]:
+        self._thread.start()
+        return self.address
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+
+class TestSyncClientProtocolErrors:
+    def test_half_written_frame(self):
+        with HalfWritingServer(b'{"ok": tru') as (host, port):
+            client = ServiceClient(host, port)
+            try:
+                with pytest.raises(ProtocolError) as excinfo:
+                    client.ping()
+                assert "mid-response" in str(excinfo.value)
+            finally:
+                client.close()
+
+    def test_connection_closed_before_any_byte(self):
+        with HalfWritingServer(b"") as (host, port):
+            client = ServiceClient(host, port)
+            try:
+                with pytest.raises(ProtocolError):
+                    client.search("vldb", tau=1)
+            finally:
+                client.close()
+
+    def test_complete_but_non_json_frame(self):
+        with HalfWritingServer(b"not json at all\n") as (host, port):
+            client = ServiceClient(host, port)
+            try:
+                with pytest.raises(ProtocolError):
+                    client.ping()
+            finally:
+                client.close()
+
+    def test_connection_reset_mid_exchange(self):
+        with HalfWritingServer(b"", reset=True) as (host, port):
+            client = ServiceClient(host, port)
+            try:
+                with pytest.raises(ServiceError):  # ProtocolError or closed
+                    client.ping()
+            finally:
+                client.close()
+
+    def test_protocol_error_is_a_service_error(self):
+        assert issubclass(ProtocolError, ServiceError)
+
+
+class TestAsyncClientProtocolErrors:
+    def test_half_written_frame(self):
+        async def scenario(host, port):
+            client = await AsyncServiceClient.connect(host, port)
+            try:
+                with pytest.raises(ProtocolError):
+                    await client.ping()
+            finally:
+                await client.close()
+
+        with HalfWritingServer(b'{"matches": [') as (host, port):
+            asyncio.run(scenario(host, port))

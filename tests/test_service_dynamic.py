@@ -183,7 +183,7 @@ def _probe_with_verifier(searcher: DynamicSearcher, query: str, tau: int,
         selector=searcher._selector, verifier=verifier, stats=stats,
         max_length=len(query) + tau, allow_same_id=True,
         accept=(None if not tombstones
-                else lambda record: record.id not in tombstones))
+                else lambda record_id: record_id not in tombstones))
     return sorted((record.id, distance) for record, distance in matches)
 
 
@@ -204,11 +204,12 @@ class TestSortedPostingInvariant:
         # posting order the share-prefix verifier exploits.
         searcher = self._mutated_searcher()
         searcher.compact()
+        store = searcher._index.store
         lists_checked = 0
         for per_length in searcher._index._indices.values():
             for per_ordinal in per_length.values():
                 for postings in per_ordinal.values():
-                    keys = [(record.text, record.id) for record in postings]
+                    keys = [store.sort_key(row) for row in postings]
                     assert keys == sorted(keys)
                     lists_checked += 1
         assert lists_checked > 0
@@ -293,6 +294,42 @@ class TestSegmentIndexRemove:
         assert index.remove(StringRecord(9, "zzzzzz")) == 0
         assert index.remove(StringRecord(9, "zz")) == 0  # too short
         assert index.entry_count() == before
+
+    def test_no_empty_buckets_survive_removal(self):
+        # Regression: remove() used to leave empty per-ordinal dicts (and
+        # could leave empty segment buckets) behind after their last key
+        # was deleted, leaking dict shells in long-lived dynamic indices.
+        index = SegmentIndex(tau=2)
+        records = [StringRecord(i, text) for i, text in enumerate(
+            ["abcdef", "abcxyz", "qwerty", "qwertz", "zzzzzz"])]
+        for record in records:
+            index.add(record)
+        for record in records[:-1]:
+            index.remove(record)
+            for per_length in index._indices.values():
+                assert per_length, "empty length group left behind"
+                for per_ordinal in per_length.values():
+                    assert per_ordinal, "empty per-ordinal dict left behind"
+                    for postings in per_ordinal.values():
+                        assert len(postings) > 0, "empty posting list"
+        index.remove(records[-1])
+        assert index._indices == {}
+
+    def test_no_empty_buckets_after_full_compaction(self):
+        searcher = DynamicSearcher(max_tau=2, compact_interval=1000)
+        for text in random_strings(40, 3, 12, alphabet="ab", seed=21):
+            searcher.insert(text)
+        for record_id in range(0, 40, 2):
+            searcher.delete(record_id)
+        searcher.compact()
+        for per_length in searcher._index._indices.values():
+            assert per_length
+            for per_ordinal in per_length.values():
+                assert per_ordinal
+                for postings in per_ordinal.values():
+                    assert len(postings) > 0
+        # The store shrank with the purge: only live records hold rows.
+        assert searcher._index.store.live_count == len(searcher)
 
 
 def apply_ops(ops, max_tau, compact_interval=4):
