@@ -1,0 +1,145 @@
+"""Elastic shard fleet — query availability and exactness during a resize.
+
+The CI gate for live resharding: the ``resharding-throughput`` experiment
+replays one query workload at a steady fleet size and *while* add-shard /
+remove-shard migrations stream records between shards, asserting every
+single answer (mid-migration included) element-identical to an unsharded
+searcher.  Two entry points:
+
+* Under pytest-benchmark (the suite's idiom) it runs the experiment at
+  ``BENCH_SCALE`` and asserts the correctness criteria: every phase
+  answered the full workload (availability), and the consistent-hash
+  resize moved at most ~2/N of the rows.  Speedup is *reported*, not
+  asserted — on a 1-CPU container the resize phases pay the migration work
+  on the serving core's only core.
+* As a script it runs a larger demonstration::
+
+      PYTHONPATH=src python benchmarks/bench_resharding.py \\
+          --size 5000 --tau 2 --queries 500 --policy hash
+
+  and exits non-zero if any phase failed the equality assertion or the
+  hash policy moved more than 2/N of the collection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+try:  # absent when executed as a plain script (python benchmarks/bench_...py)
+    from .conftest import BENCH_SCALE, record_table
+except ImportError:  # pragma: no cover - script mode
+    BENCH_SCALE, record_table = 0.25, None
+
+from repro.bench.experiments import resharding_throughput
+from repro.bench.harness import available_cpus
+from repro.bench.reporting import format_table
+
+#: The acceptance bound on a consistent-hash resize: at most 2/N of the
+#: rows move on a fleet of N shards (expected 1/N; 2/N absorbs ring
+#: variance).  Both resize phases here cross the 2<->3 boundary, so N = 3.
+HASH_MOVE_BOUND = 2 / 3
+
+
+#: The phase sequence the experiment sweeps; a missing phase means it
+#: aborted (every phase asserts each answer against the unsharded oracle
+#: and raises on the first divergence, so reaching a complete table *is*
+#: the availability/exactness proof).
+EXPECTED_PHASES = ["steady-2", "during-add", "steady-3", "during-remove",
+                   "steady-2-after"]
+
+
+def check_rows(table, policy: str) -> tuple[list[dict], str | None]:
+    """Return the rows and an error message when any gate fails.
+
+    Result equality and availability are asserted inside the experiment
+    itself (it raises on the first diverging answer, so a complete table
+    implies every phase answered its whole workload exactly); what is
+    checked here is that all five phases actually ran, that the two
+    resize phases genuinely migrated rows, and that the consistent-hash
+    migration volume stayed within its bound.
+    """
+    rows = list(table.rows)
+    phases = [row["phase"] for row in rows]
+    if phases != EXPECTED_PHASES:
+        return rows, f"expected phases {EXPECTED_PHASES}, got {phases}"
+    moving = [row for row in rows if row["rows_moved"] > 0]
+    if [row["phase"] for row in moving] != ["during-add", "during-remove"]:
+        return rows, (f"expected exactly the two resize phases to move "
+                      f"rows, got {[(r['phase'], r['rows_moved']) for r in rows]}")
+    if policy == "hash":
+        for row in moving:
+            if row["moved_frac"] > HASH_MOVE_BOUND:
+                return rows, (f"phase {row['phase']} moved "
+                              f"{row['moved_frac']:.0%} of the rows; the "
+                              f"consistent-hash bound is "
+                              f"{HASH_MOVE_BOUND:.0%}")
+    return rows, None
+
+
+def test_resharding_availability_and_equality(benchmark):
+    table = benchmark.pedantic(
+        lambda: resharding_throughput(scale=BENCH_SCALE, tau=2,
+                                      policy="hash", backend="thread",
+                                      migration_batch=16),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    rows, error = check_rows(table, "hash")
+    assert error is None, error
+
+
+def run_resharding_demo(size: int, tau: int, queries: int, policy: str,
+                        backend: str, migration_batch: int) -> int:
+    """Run the workload at ``size`` author strings; print the table."""
+    from repro.bench.experiments import DEFAULT_SIZES
+
+    scale = size / DEFAULT_SIZES["author"]
+    try:
+        table = resharding_throughput(scale=scale, tau=tau,
+                                      num_queries=queries, policy=policy,
+                                      backend=backend,
+                                      migration_batch=migration_batch)
+    except AssertionError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(format_table(table))
+    rows, error = check_rows(table, policy)
+    if error is not None:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    steady = next(row for row in rows if row["phase"] == "steady-2")
+    dips = [round(row["qps"] / max(steady["qps"], 1e-9), 2) for row in rows
+            if row["rows_moved"] > 0]
+    cpus = available_cpus()
+    print(f"OK: every answer matched the unsharded oracle, including "
+          f"mid-migration; resize-phase throughput was {dips} of steady "
+          f"({cpus} CPU(s); on one core the dip is the migration work "
+          f"time-slicing with queries)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=5000,
+                        help="number of synthetic author strings "
+                             "(default 5000)")
+    parser.add_argument("--tau", type=int, default=2,
+                        help="edit-distance threshold (default 2)")
+    parser.add_argument("--queries", type=int, default=500,
+                        help="workload size per phase (default 500)")
+    parser.add_argument("--policy", default="hash",
+                        choices=["hash", "length", "modulo"],
+                        help="shard placement policy (default hash)")
+    parser.add_argument("--backend", default="thread",
+                        choices=["auto", "process", "thread"],
+                        help="shard backend (default thread)")
+    parser.add_argument("--migration-batch", type=int, default=64,
+                        help="records per migration step (default 64)")
+    args = parser.parse_args(argv)
+    return run_resharding_demo(args.size, args.tau, args.queries,
+                               args.policy, args.backend,
+                               args.migration_batch)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,11 @@ least one collected test: a benchmark that silently stops being collected
 (renamed test function, missing ``test_`` prefix, conditional import gone
 wrong) would otherwise drop out of CI without anyone noticing.
 
+Finally it fails if any ``*.pyc`` byte-code file is tracked by git: PR 4
+accidentally committed a tree of ``__pycache__`` directories, and although
+``.gitignore`` now covers them, an explicit ``git add -f`` (or a gitignore
+regression) could re-introduce them silently.
+
 Usage::
 
     python scripts/check_collect.py
@@ -35,7 +40,26 @@ def _collect(env: dict, args: list[str]) -> "subprocess.CompletedProcess[str]":
         cwd=REPO_ROOT, env=env, capture_output=True, text=True)
 
 
+def _tracked_pyc_files() -> list[str]:
+    """Byte-code files tracked by git (must be none; see module docstring)."""
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files", "*.pyc", "**/*.pyc"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return []  # not a git checkout (e.g. a source tarball): nothing to do
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
 def main() -> int:
+    tracked = _tracked_pyc_files()
+    if tracked:
+        print(f"FAIL: {len(tracked)} compiled *.pyc file(s) are tracked by "
+              f"git (e.g. {tracked[0]}); remove them with "
+              f"'git rm --cached' — .gitignore should keep them out",
+              file=sys.stderr)
+        return 1
+
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (

@@ -4,9 +4,10 @@
 Exercises the full serving stack end to end over a real TCP socket — the
 asyncio server, the JSON-lines protocol, the blocking client, the query
 cache, and the dynamic index — in under a second, then repeats the exercise
-against a 2-shard server (hash placement: consecutive ids live on different
-shards, so the near-duplicate searches below are genuinely cross-shard
-scatter-gathers) and requires identical answers::
+against a 2-shard server (modulo placement: consecutive ids live on
+different shards, so the near-duplicate searches below are genuinely
+cross-shard scatter-gathers), requires identical answers, and finishes
+with a live add-shard → query → remove-shard resize under load::
 
     PYTHONPATH=src python scripts/service_smoke.py
 
@@ -63,8 +64,9 @@ def sharded_smoke() -> None:
     process (what ``auto`` would do on a multi-core runner) is exactly the
     fork-with-live-threads pattern CPython warns about.
     """
-    config = ServiceConfig(port=0, max_tau=2, shards=2, shard_policy="hash",
-                           shard_backend="thread")
+    config = ServiceConfig(port=0, max_tau=2, shards=2,
+                           shard_policy="modulo", shard_backend="thread",
+                           migration_batch=2)
     with BackgroundServer(STRINGS, config) as (host, port):
         with ServiceClient(host, port) as client:
             stats = client.stats()
@@ -95,6 +97,27 @@ def sharded_smoke() -> None:
             assert client.search("vldb", tau=1) == matches
             top = client.top_k("sigmod", 2)
             assert [(m.distance, m.id) for m in top] == [(0, 2), (1, 3)], top
+
+            # Live resharding: grow the fleet, query while the server
+            # streams records to the new shard in the background, shrink
+            # back — answers must be identical the whole way through.
+            grown = client.add_shard()
+            assert grown["shards"] == 3, grown
+            while client.rebalance_status()["active"]:
+                assert client.search("vldb", tau=1) == matches
+            stats = client.stats()
+            assert stats["shards"]["count"] == 3, stats
+            assert sum(stats["shards"]["sizes"]) == len(STRINGS), stats
+            assert client.search("vldb", tau=1) == matches
+            shrunk = client.remove_shard()
+            assert shrunk["shards"] in (2, 3), shrunk  # may still be draining
+            while client.rebalance_status()["active"]:
+                assert client.search("vldb", tau=1) == matches
+            stats = client.stats()
+            assert stats["shards"]["count"] == 2, stats
+            assert stats["shards"]["rows_migrated"] > 0, stats
+            assert client.search("vldb", tau=1) == matches
+            assert client.top_k("sigmod", 2) == top
 
 
 def main() -> int:
@@ -129,7 +152,8 @@ def main() -> int:
           f"({stats['queries_served']}+ queries, "
           f"cache hits={stats['cache']['hits']}, "
           f"index bytes={stats['index']['approximate_bytes']}), "
-          f"2-shard cross-shard + batch queries verified")
+          f"2-shard cross-shard + batch queries + live "
+          f"add-shard/remove-shard verified")
     return 0
 
 

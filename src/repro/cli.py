@@ -11,6 +11,8 @@ Six subcommands cover the day-to-day uses of the library::
     passjoin serve FILE --tau 2 --port 8765    # online similarity service
     passjoin query "some string" --tau 1       # ask a running service
     passjoin query --file queries.txt --tau 1  # batch: one request, N queries
+    passjoin admin reshard --shards 4          # live-resize a sharded server
+    passjoin admin status                      # shard balance + rebalance state
 
 The module is also importable: :func:`main` takes an ``argv`` list, which is
 what the CLI tests use.
@@ -29,8 +31,8 @@ from .baselines.naive import NaiveJoin
 from .baselines.trie_join import TrieJoin
 from .bench.experiments import DATASET_BUILDERS, EXPERIMENTS
 from .bench.reporting import format_table
-from .config import (JoinConfig, SelectionMethod, ServiceConfig,
-                     VerificationMethod)
+from .config import (SHARD_POLICIES, JoinConfig, SelectionMethod,
+                     ServiceConfig, VerificationMethod)
 from .core.join import PassJoin
 from .core.parallel import ParallelPassJoin
 from .datasets.loaders import load_strings, save_strings
@@ -107,13 +109,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard workers to partition the collection "
                             "across (default 1 = unsharded)")
     serve.add_argument("--shard-policy", default="hash",
-                       choices=["hash", "length"],
-                       help="record placement: hash of id, or length bands "
-                            "(default hash)")
+                       choices=list(SHARD_POLICIES),
+                       help="record placement: consistent-hash ring, length "
+                            "bands, or legacy id%%N (default hash)")
     serve.add_argument("--shard-backend", default="auto",
                        choices=["auto", "process", "thread"],
                        help="shard execution: fork-spawned processes, "
                             "in-process, or auto per platform (default auto)")
+    serve.add_argument("--migration-batch", type=int, default=256,
+                       help="records moved per live-resharding step "
+                            "(default 256)")
     serve.add_argument("--limit", type=int,
                        help="read at most this many strings")
 
@@ -134,6 +139,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="server address (default 127.0.0.1)")
     query.add_argument("--port", type=int, default=8765,
                        help="server port (default 8765)")
+
+    admin = subparsers.add_parser(
+        "admin", help="administer a running sharded similarity service")
+    admin_sub = admin.add_subparsers(dest="admin_command", required=True)
+    reshard = admin_sub.add_parser(
+        "reshard", help="live-resize the shard fleet to a target size")
+    reshard.add_argument("--shards", type=int, required=True,
+                         help="target number of shards (>= 1)")
+    reshard.add_argument("--host", default="127.0.0.1",
+                         help="server address (default 127.0.0.1)")
+    reshard.add_argument("--port", type=int, default=8765,
+                         help="server port (default 8765)")
+    reshard.add_argument("--poll", type=float, default=0.05,
+                         help="seconds between rebalance-status polls "
+                              "(default 0.05)")
+    status = admin_sub.add_parser(
+        "status", help="print shard balance and rebalance state")
+    status.add_argument("--host", default="127.0.0.1",
+                        help="server address (default 127.0.0.1)")
+    status.add_argument("--port", type=int, default=8765,
+                        help="server port (default 8765)")
     return parser
 
 
@@ -215,7 +241,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                            cache_capacity=args.cache_capacity,
                            compact_interval=args.compact_interval,
                            shards=args.shards, shard_policy=args.shard_policy,
-                           shard_backend=args.shard_backend)
+                           shard_backend=args.shard_backend,
+                           migration_batch=args.migration_batch)
 
     def announce(address: tuple[str, int]) -> None:
         sharding = ("unsharded" if config.shards == 1 else
@@ -270,6 +297,77 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_admin_status(stats: dict) -> None:
+    shards = stats["shards"]
+    rebalance = shards["rebalance"]
+    print(f"shards: {shards['count']} ({shards['policy']} placement, "
+          f"{shards['backend']} backend)")
+    print(f"rows per shard: {shards['sizes']}")
+    print(f"bytes per shard: {shards['bytes']}")
+    print(f"rows migrated (lifetime): {shards['rows_migrated']}")
+    if rebalance["active"]:
+        print(f"rebalance in flight: {rebalance['kind']} — "
+              f"{rebalance['rows_copied']}/{rebalance['rows_total']} rows "
+              f"copied, {rebalance['steps_left']} steps left")
+    else:
+        print("rebalance: idle")
+
+
+def _command_admin(args: argparse.Namespace) -> int:
+    import time
+
+    from .exceptions import ProtocolError, ServiceError
+    from .service.client import ServiceClient
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            stats = client.stats()
+            if "shards" not in stats:
+                print("error: the server is unsharded; restart it with "
+                      "--shards >= 2 to enable live resharding",
+                      file=sys.stderr)
+                return 1
+            if args.admin_command == "status":
+                _print_admin_status(stats)
+                return 0
+            target = args.shards
+            if target < 1:
+                print("error: --shards must be >= 1", file=sys.stderr)
+                return 2
+            current = stats["shards"]["count"]
+            while current != target:
+                grow = current < target
+                try:
+                    status = (client.add_shard() if grow
+                              else client.remove_shard())
+                except ServiceError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 1
+                # The server streams the migration in the background;
+                # queries keep being answered while we poll.  A failed
+                # drain surfaces as an "error" field — abort rather than
+                # polling an migration that will never finish.
+                while status["active"] and "error" not in status:
+                    time.sleep(args.poll)
+                    status = client.rebalance_status()
+                if "error" in status:
+                    print(f"error: {status['error']}", file=sys.stderr)
+                    return 1
+                current = status["shards"]
+                print(f"{status.get('kind', 'reshard')}: now {current} "
+                      f"shard(s), moved {status.get('rows_copied', 0)} "
+                      f"row(s)", file=sys.stderr)
+            _print_admin_status(client.stats())
+    except (OSError, ProtocolError) as error:
+        # ProtocolError covers a server dying *mid-poll* (the client wraps
+        # resets/half-frames in it, not in OSError) — the reshard loop can
+        # run for a while, so that path matters here.
+        print(f"error: cannot reach server at {args.host}:{args.port} "
+              f"({error})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used both by the console script and by the tests."""
     parser = _build_parser()
@@ -281,6 +379,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _command_experiment,
         "serve": _command_serve,
         "query": _command_query,
+        "admin": _command_admin,
     }
     try:
         return handlers[args.command](args)

@@ -169,8 +169,10 @@ DEFAULT_CONFIG = JoinConfig()
 
 
 #: Shard placement policies of the sharded serving tier
-#: (:mod:`repro.service.sharding`).
-SHARD_POLICIES = ("hash", "length")
+#: (:mod:`repro.service.placement`): ``hash`` is a consistent-hashing ring
+#: (resizes move ~1/N of the records), ``length`` places by splittable
+#: length bands, ``modulo`` is the legacy ``id % N`` map.
+SHARD_POLICIES = ("hash", "length", "modulo")
 #: Shard execution backends; ``auto`` resolves per platform at runtime.
 SHARD_BACKENDS = ("auto", "process", "thread")
 
@@ -214,12 +216,19 @@ class ServiceConfig:
         ``1`` (default) serves a single unsharded dynamic index; larger
         values route through a :class:`repro.service.sharding.ShardRouter`.
     shard_policy:
-        Record placement: ``"hash"`` (by id, uniform) or ``"length"``
-        (length bands — queries only probe intersecting shards).
+        Record placement: ``"hash"`` (consistent-hashing ring — uniform,
+        and a fleet resize only moves ~1/N of the records), ``"length"``
+        (length bands — queries only probe intersecting shards), or
+        ``"modulo"`` (the legacy ``id % N`` map).
     shard_backend:
         ``"process"`` (fork-spawned shard workers), ``"thread"``
         (in-process shards), or ``"auto"`` (process on multi-core fork
         platforms, thread elsewhere).
+    migration_batch:
+        Largest number of records one live-resharding step moves between
+        two shards.  Bounds how long a single migration step can hold the
+        serving loop, which is what keeps queries flowing while an
+        ``add-shard``/``remove-shard`` rebalance is in flight.
     """
 
     host: str = "127.0.0.1"
@@ -234,6 +243,7 @@ class ServiceConfig:
     shards: int = 1
     shard_policy: str = "hash"
     shard_backend: str = "auto"
+    migration_batch: int = 256
 
     def __post_init__(self) -> None:
         if not isinstance(self.partition, PartitionStrategy):
@@ -267,6 +277,12 @@ class ServiceConfig:
                 or self.shards < 1):
             raise ConfigurationError(
                 f"shards must be a positive integer, got {self.shards!r}")
+        if (isinstance(self.migration_batch, bool)
+                or not isinstance(self.migration_batch, int)
+                or self.migration_batch < 1):
+            raise ConfigurationError(
+                f"migration_batch must be a positive integer, "
+                f"got {self.migration_batch!r}")
         if self.shard_policy not in SHARD_POLICIES:
             raise ConfigurationError(
                 f"shard_policy must be one of {SHARD_POLICIES}, "

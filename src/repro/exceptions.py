@@ -28,7 +28,17 @@ class InvalidPartitionError(PassJoinError, ValueError):
 
 
 class ConfigurationError(PassJoinError, ValueError):
-    """A :class:`repro.config.JoinConfig` value is out of range or inconsistent."""
+    """A configuration value is out of range or inconsistent.
+
+    Raised at construction time by :class:`repro.config.JoinConfig` and
+    :class:`repro.config.ServiceConfig` so a bad knob (``shards < 1``, an
+    unknown ``shard_policy``, ``migration_batch < 1``, ...) fails with a
+    clear message instead of deep inside the serving stack.
+    """
+
+
+#: Short alias for :class:`ConfigurationError`.
+ConfigError = ConfigurationError
 
 
 class UnknownMethodError(ConfigurationError):

@@ -19,9 +19,14 @@ north star.  Three layers, composable and individually testable:
    :class:`AsyncServiceClient` (asyncio) counterparts, and
    :class:`BackgroundServer` to host the stack from synchronous code.
 4. **Sharding** — :class:`ShardRouter` partitions the live collection
-   across shard workers (in-process or fork-spawned processes) and
-   scatter-gathers queries with results element-identical to a single
-   :class:`DynamicSearcher`; enabled via ``ServiceConfig(shards=N)``.
+   across an elastic fleet of shard workers (in-process or fork-spawned
+   processes) and scatter-gathers queries with results element-identical
+   to a single :class:`DynamicSearcher`; enabled via
+   ``ServiceConfig(shards=N)``.  Placement is a pluggable
+   :class:`~repro.service.placement.PlacementMap` (consistent-hash ring,
+   length bands, legacy modulo), and ``add_shard``/``remove_shard``
+   resize the fleet live — records stream between shards in bounded
+   batches while queries keep being answered exactly.
 
 Configuration lives in :class:`repro.config.ServiceConfig`; the CLI
 exposes the stack as ``passjoin serve`` / ``passjoin query``.
@@ -32,6 +37,8 @@ from .batcher import BatcherStats, RequestBatcher
 from .cache import CacheStats, QueryCache
 from .client import AsyncServiceClient, ServiceClient
 from .dynamic import DynamicSearcher
+from .placement import (ConsistentHashPlacementMap, LengthBandPlacementMap,
+                        ModuloPlacementMap, PlacementMap, make_placement_map)
 from .server import (BackgroundServer, SimilarityServer, SimilarityService,
                      run_service)
 from .sharding import (SHARD_BACKENDS, SHARD_POLICIES, ShardContext,
@@ -41,6 +48,11 @@ __all__ = [
     "DynamicSearcher",
     "ShardRouter",
     "ShardContext",
+    "PlacementMap",
+    "ConsistentHashPlacementMap",
+    "LengthBandPlacementMap",
+    "ModuloPlacementMap",
+    "make_placement_map",
     "make_shard_policy",
     "resolve_shard_backend",
     "SHARD_POLICIES",

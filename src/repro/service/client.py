@@ -193,6 +193,24 @@ class ServiceClient(_RequestMixin):
     def stats(self) -> dict:
         return self.request({"op": "stats"})
 
+    def add_shard(self) -> dict:
+        """Grow the server's shard fleet by one; return the rebalance status.
+
+        The server answers as soon as the migration is planned and streams
+        the affected records between shards in the background; poll
+        :meth:`rebalance_status` until ``active`` is false to observe
+        completion.  Requires a sharded server.
+        """
+        return self.request({"op": "add-shard"})["status"]
+
+    def remove_shard(self) -> dict:
+        """Retire the server's highest-numbered shard; return the status."""
+        return self.request({"op": "remove-shard"})["status"]
+
+    def rebalance_status(self) -> dict:
+        """Progress of the in-flight (or summary of the last) migration."""
+        return self.request({"op": "rebalance-status"})["status"]
+
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))
 
@@ -291,6 +309,18 @@ class AsyncServiceClient(_RequestMixin):
 
     async def stats(self) -> dict:
         return await self.request({"op": "stats"})
+
+    async def add_shard(self) -> dict:
+        """Async counterpart of :meth:`ServiceClient.add_shard`."""
+        return (await self.request({"op": "add-shard"}))["status"]
+
+    async def remove_shard(self) -> dict:
+        """Async counterpart of :meth:`ServiceClient.remove_shard`."""
+        return (await self.request({"op": "remove-shard"}))["status"]
+
+    async def rebalance_status(self) -> dict:
+        """Async counterpart of :meth:`ServiceClient.rebalance_status`."""
+        return (await self.request({"op": "rebalance-status"}))["status"]
 
     async def ping(self) -> bool:
         return bool((await self.request({"op": "ping"})).get("pong"))

@@ -170,6 +170,25 @@ class DynamicSearcher:
         self._bump()
         return record.id
 
+    def get_many(self, record_ids: Iterable[int]) -> list[StringRecord]:
+        """The live records among ``record_ids``, in the order given.
+
+        Ids that are not live (never inserted, deleted, tombstoned) are
+        silently skipped — the shard-migration extract step uses this to
+        tolerate records deleted between planning and copying.
+        """
+        live = self._live
+        return [live[record_id] for record_id in record_ids
+                if record_id in live]
+
+    def insert_many(self, records: Iterable[str | StringRecord]) -> list[int]:
+        """Insert several records (:meth:`insert` semantics); return the ids."""
+        return [self.insert(record) for record in records]
+
+    def delete_many(self, record_ids: Iterable[int]) -> int:
+        """Delete several records by id; return how many were live."""
+        return sum(self.delete(record_id) for record_id in record_ids)
+
     def delete(self, record_id: int) -> bool:
         """Tombstone one record by id; return False when it is not live."""
         record = self._live.pop(record_id, None)

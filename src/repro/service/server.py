@@ -6,8 +6,9 @@ Two classes split the serving stack along the transport boundary:
   :class:`~repro.service.dynamic.DynamicSearcher`, the
   :class:`~repro.service.cache.QueryCache`, and the request vocabulary
   (``search`` / ``top-k`` / ``search-batch`` / ``insert`` / ``delete`` /
-  ``compact`` / ``stats`` / ``ping``), mapping request dictionaries to
-  response dictionaries.  Tests, the smoke script, and future transports
+  ``compact`` / ``stats`` / ``ping``, plus the fleet-resize admin ops
+  ``add-shard`` / ``remove-shard`` / ``rebalance-status`` on sharded
+  services), mapping request dictionaries to response dictionaries.  Tests, the smoke script, and future transports
   talk to this object directly.  Cache-missing searches of a batch are
   answered by one grouped ``search_many()`` index pass.
 * :class:`SimilarityServer` — the asyncio JSON-lines TCP transport.  One
@@ -54,9 +55,15 @@ from .sharding import ShardRouter
 QUERY_OPS = ("search", "top-k")
 #: The batch query operation (one request carrying many search queries).
 BATCH_OP = "search-batch"
+#: Fleet-resize admin operations (sharded services only).  The TCP
+#: transport answers these as soon as the migration is planned and drains
+#: it in a background task so queries keep flowing; the transport-free
+#: core drains synchronously unless the request carries ``drain: false``.
+RESHARD_OPS = ("add-shard", "remove-shard")
 #: Every operation the service understands.
-ALL_OPS = QUERY_OPS + (BATCH_OP, "insert", "delete", "compact", "stats",
-                       "ping", "shutdown")
+ALL_OPS = QUERY_OPS + (BATCH_OP,) + RESHARD_OPS + (
+    "rebalance-status", "insert", "delete", "compact", "stats", "ping",
+    "shutdown")
 
 #: Query keys are tuples: ("search", query, tau) or ("top-k", query, k, limit).
 QueryKey = tuple
@@ -111,13 +118,19 @@ class SimilarityService:
                 strings, shards=config.shards, max_tau=config.max_tau,
                 partition=config.partition,
                 compact_interval=config.compact_interval,
-                policy=config.shard_policy, backend=config.shard_backend)
+                policy=config.shard_policy, backend=config.shard_backend,
+                migration_batch=config.migration_batch)
         else:
             self.searcher = DynamicSearcher(
                 strings, max_tau=config.max_tau, partition=config.partition,
                 compact_interval=config.compact_interval)
         self.cache = QueryCache(config.cache_capacity)
         self.queries_served = 0
+        # Last background reshard-drain failure (set by the transport's
+        # drain task, surfaced through rebalance-status): a dead shard
+        # worker mid-migration must not strand status pollers in an
+        # endless "active" loop with no explanation.
+        self.reshard_error: str | None = None
 
     def close(self) -> None:
         """Release serving resources (shard worker processes); idempotent."""
@@ -262,6 +275,27 @@ class SimilarityService:
                 purged = self.searcher.compact()
                 return {"ok": True, "purged": purged,
                         "epoch": self.searcher.epoch}
+            if op in RESHARD_OPS:
+                router = self._require_router(op)
+                drain = payload.get("drain", True)
+                if not isinstance(drain, bool):
+                    raise ValueError(
+                        f"field 'drain' must be a boolean, got {drain!r}")
+                status = (router.add_shard(drain=drain) if op == "add-shard"
+                          else router.remove_shard(drain=drain))
+                # Cleared only now: a *rejected* resize (e.g. a migration
+                # already in flight) must not erase the record of why the
+                # previous drain failed.
+                self.reshard_error = None
+                return {"ok": True, "status": status,
+                        "epoch": self.searcher.epoch}
+            if op == "rebalance-status":
+                router = self._require_router(op)
+                status = router.rebalance_status()
+                if self.reshard_error is not None:
+                    status["error"] = self.reshard_error
+                return {"ok": True, "status": status,
+                        "epoch": self.searcher.epoch}
             if op == "stats":
                 return {"ok": True, **self.stats()}
             if op == "ping":
@@ -278,6 +312,26 @@ class SimilarityService:
             # dead shard worker): the contract is one error response per
             # bad request, never an exception up through the transport.
             return {"ok": False, "error": str(error)}
+
+    def _require_router(self, op: str) -> ShardRouter:
+        """The sharded searcher, or a clear error for unsharded services."""
+        if not isinstance(self.searcher, ShardRouter):
+            raise ServiceError(
+                f"op {op!r} requires a sharded service; start the server "
+                f"with shards >= 2 (ServiceConfig.shards / serve --shards)")
+        return self.searcher
+
+    def migration_step(self) -> dict:
+        """Run one bounded resharding step; return the rebalance status.
+
+        The hook the TCP transport's background drain task uses to move an
+        in-flight migration forward between answering queries.
+        """
+        return self._require_router("migration-step").migration_step()
+
+    def rebalance_status(self) -> dict:
+        """The router's rebalance status (for tests and the drain task)."""
+        return self._require_router("rebalance-status").rebalance_status()
 
     def _query_response(self, matches: list[SearchMatch], cached: bool) -> dict:
         return {"ok": True, "matches": [match.to_dict() for match in matches],
@@ -328,9 +382,14 @@ class SimilarityService:
                 "count": searcher.num_shards,
                 "policy": searcher.policy.name,
                 "backend": searcher.backend,
+                # Placement balance: live rows and columnar bytes per shard.
                 "sizes": searcher.shard_sizes(),
+                "bytes": [shard.get("approximate_bytes", 0)
+                          for shard in summary["shard_memory"]],
                 "epoch_vector": list(searcher.epoch_vector),
                 "memory": summary["shard_memory"],
+                "rows_migrated": searcher.rows_migrated_total,
+                "rebalance": searcher.rebalance_status(),
             }
         return payload
 
@@ -362,6 +421,7 @@ class SimilarityServer:
         self.address: tuple[str, int] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stopped: asyncio.Event | None = None
+        self._reshard_task: "asyncio.Task | None" = None
 
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -387,7 +447,15 @@ class SimilarityServer:
         await self._stopped.wait()
 
     async def stop(self) -> None:
-        """Stop accepting connections and release the socket."""
+        """Stop accepting connections and release the socket.
+
+        An in-flight background reshard drain is cancelled — the router's
+        migration state is process-local, so there is nothing to hand
+        over; a restarted server simply rebuilds placement from scratch.
+        """
+        if self._reshard_task is not None:
+            self._reshard_task.cancel()
+            self._reshard_task = None
         if self._server is None:
             return
         self._server.close()
@@ -429,6 +497,8 @@ class SimilarityServer:
                         response = await self._handle_query(payload)
                     elif op == BATCH_OP:
                         response = await self._handle_batch(payload)
+                    elif op in RESHARD_OPS:
+                        response = self._handle_reshard(payload)
                     elif op == "shutdown":
                         response = {"ok": True, "stopping": True}
                         stopping = True
@@ -447,6 +517,39 @@ class SimilarityServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
+
+    def _handle_reshard(self, payload: dict) -> dict:
+        """Start a fleet resize; drain it in the background.
+
+        The response is written as soon as the migration is planned (the
+        ``status`` field says how many rows will move); a background task
+        then runs one bounded :meth:`SimilarityService.migration_step` per
+        event-loop turn, so queries, mutations, and ``rebalance-status``
+        polls keep being served while records stream between shards —
+        zero-downtime resharding.  A second resize request while one is in
+        flight is answered with an error by the router.
+        """
+        response = self.service.handle_request({**payload, "drain": False})
+        if response.get("ok") and response.get("status", {}).get("active"):
+            self._reshard_task = asyncio.get_running_loop().create_task(
+                self._drain_reshard())
+        return response
+
+    async def _drain_reshard(self) -> None:
+        try:
+            while self.service.migration_step()["active"]:
+                # Yield between bounded steps: queued queries run here.
+                await asyncio.sleep(0)
+        except asyncio.CancelledError:  # pragma: no cover - server stopping
+            raise
+        except Exception as error:  # noqa: BLE001 - dead worker mid-drain
+            # Record the failure so rebalance-status pollers (the CLI's
+            # reshard loop among them) see an ``error`` field instead of
+            # an ``active`` migration that never finishes.  The migration
+            # stays marked active — the fleet genuinely is mid-move and
+            # queries surface the underlying worker failure themselves.
+            self.service.reshard_error = (
+                f"background reshard drain failed: {error}")
 
     async def _handle_query(self, payload: dict) -> dict:
         try:

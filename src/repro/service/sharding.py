@@ -1,15 +1,16 @@
-"""Sharded serving tier: partition the live collection across shard workers.
+"""Sharded serving tier: an elastic fleet of shard workers.
 
 One :class:`~repro.service.dynamic.DynamicSearcher` runs every index pass on
 a single thread, so a busy server saturates one core.  This module scales
 the serving layer the classic way — partition the collection:
 
-* A **shard policy** maps every record to exactly one of ``N`` shards.
-  ``hash`` places by ``id % N`` (uniform load, every query scatters to all
-  shards); ``length`` places by length band (records within ``max_tau`` of
-  each other's length usually co-locate, so a query only touches the shards
-  whose bands intersect ``[|q| − τ, |q| + τ]`` — and a mutation on one shard
-  leaves queries that never probe it cacheable).
+* A **placement map** (:mod:`repro.service.placement`) assigns every record
+  to exactly one of ``N`` shards and every query to the subset of shards it
+  must probe.  ``hash`` is a consistent-hashing ring (uniform load,
+  scatter-all queries, resizes move ~1/N of the records), ``length`` places
+  by splittable length bands (a query only touches the shards whose bands
+  intersect ``[|q| − τ, |q| + τ]``), ``modulo`` is the legacy ``id % N``
+  map.
 * Each shard owns a full private :class:`DynamicSearcher` over its records.
   Shards run either **in-process** (the ``thread`` backend — the calling
   thread drives each shard directly; the right choice for tests, 1-CPU
@@ -21,25 +22,50 @@ the serving layer the classic way — partition the collection:
 * :class:`ShardRouter` scatter-gathers ``search``/``search_top_k`` across
   the shards a query can touch and merges under the canonical
   ``(distance, id)`` ordering.  Because the shards partition the id space,
-  the merge needs no deduplication and the result list is **element
-  identical** to a single unsharded :class:`DynamicSearcher` over the same
-  records (property-tested on random interleavings of insert/delete/search).
-  Top-k merges the per-shard top-k lists: any global top-k member must be in
-  its own shard's top-k, so the union provably covers the global answer.
+  the merged result list is **element identical** to a single unsharded
+  :class:`DynamicSearcher` over the same records (property-tested on random
+  interleavings of insert/delete/search/resize).  Top-k merges the
+  per-shard top-k lists: any global top-k member must be in its own shard's
+  top-k, so the union provably covers the global answer.
+
+Live resharding
+---------------
+:meth:`ShardRouter.add_shard` and :meth:`ShardRouter.remove_shard` resize
+the fleet **without stopping the service**.  A resize diffs the old and new
+placement maps into a migration plan — which record ids move from which
+donor shard to which recipient — and executes it in bounded batches
+(``migration_batch`` records per step) so queries keep being answered
+between steps:
+
+* A **copy step** extracts one batch of records from its donor and inserts
+  them into the recipient.  Until the matching **release step** deletes
+  them from the donor, those records are *dual-present*; queries probe the
+  union of the old and new maps' probe sets and the ``(distance, id)``
+  merge deduplicates by id, so answers stay element-identical to an
+  unsharded searcher throughout (the property tests drive searches between
+  every step).
+* Mutations keep flowing during a migration: inserts place by the **new**
+  map, deletes route to the record's current shard (and eagerly remove a
+  dual-present donor copy so it cannot resurface).
+* When the plan is drained the donors are compacted — tombstoned store
+  rows are physically released, so per-shard row counts return to balance
+  — and a retiring shard's worker (``remove_shard``) is closed.
 
 Mutations route to the owning shard and bump only that shard's epoch.  The
 router mirrors the per-shard epochs in :attr:`ShardRouter.epoch_vector`;
-:meth:`ShardRouter.epoch_token` returns the slice of that vector a given
-query key depends on, which the serving core folds into its cache key — a
-mutation on one shard invalidates exactly the cached queries that probe it,
-without dropping (or rebuilding) entries that only touch other shards.
+:meth:`ShardRouter.epoch_token` returns the placement generation plus the
+epochs of exactly the shards a query key probes, which the serving core
+folds into its cache key — a mutation on one shard invalidates exactly the
+cached queries that probe it, and a resize (which changes probe sets) bumps
+the generation so no cached answer can outlive a placement change.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..config import (SHARD_BACKENDS, SHARD_POLICIES, PartitionStrategy,
@@ -49,6 +75,11 @@ from ..exceptions import ConfigurationError, InvalidThresholdError, ServiceError
 from ..search.searcher import SearchMatch, resolve_query_taus
 from ..types import JoinStatistics, StringRecord, as_records
 from .dynamic import DynamicSearcher, coerce_insert_record
+from .placement import PlacementMap, make_placement_map
+
+#: Backwards-compatible alias: placement used to be configured through
+#: ``make_shard_policy`` before it grew into :mod:`repro.service.placement`.
+make_shard_policy = make_placement_map
 
 
 def resolve_shard_backend(backend: str) -> str:
@@ -77,68 +108,6 @@ def resolve_shard_backend(backend: str) -> str:
         return backend
     return ("process" if fork_available and available_workers() > 1
             and threading.active_count() == 1 else "thread")
-
-
-# ----------------------------------------------------------------------
-# Placement policies
-# ----------------------------------------------------------------------
-class HashShardPolicy:
-    """Uniform placement by record id; every query scatters to all shards."""
-
-    name = "hash"
-
-    def __init__(self, shards: int, max_tau: int) -> None:
-        self.shards = shards
-
-    def place(self, record_id: int, length: int) -> int:
-        """Owning shard of a record (by id, lengths ignored)."""
-        return record_id % self.shards
-
-    def probe_shards(self, query_length: int, tau: int) -> tuple[int, ...]:
-        """Shards a query of ``query_length`` at ``tau`` may find matches in."""
-        return tuple(range(self.shards))
-
-
-class LengthShardPolicy:
-    """Length-band placement: co-locate strings of similar length.
-
-    Records are grouped into bands of ``max_tau + 1`` consecutive lengths
-    (the widest spread two strings within ``max_tau`` of each other can
-    have), and bands are dealt round-robin across the shards.  A query at
-    threshold ``tau`` only probes the shards whose bands intersect
-    ``[|q| − τ, |q| + τ]`` — at most ``2`` bands for ``tau ≤ max_tau``, so
-    usually 1–2 shards instead of all of them.
-    """
-
-    name = "length"
-
-    def __init__(self, shards: int, max_tau: int) -> None:
-        self.shards = shards
-        self.band_width = max_tau + 1
-
-    def place(self, record_id: int, length: int) -> int:
-        """Owning shard of a record (by length band, ids ignored)."""
-        return (length // self.band_width) % self.shards
-
-    def probe_shards(self, query_length: int, tau: int) -> tuple[int, ...]:
-        """Shards whose length bands intersect the query's length window."""
-        first = max(0, query_length - tau) // self.band_width
-        last = (query_length + tau) // self.band_width
-        if last - first + 1 >= self.shards:
-            return tuple(range(self.shards))
-        return tuple(sorted({band % self.shards
-                             for band in range(first, last + 1)}))
-
-
-def make_shard_policy(name: str, shards: int,
-                      max_tau: int) -> HashShardPolicy | LengthShardPolicy:
-    """Instantiate the policy for ``name`` (``"hash"`` or ``"length"``)."""
-    if name == "hash":
-        return HashShardPolicy(shards, max_tau)
-    if name == "length":
-        return LengthShardPolicy(shards, max_tau)
-    raise ConfigurationError(
-        f"shard_policy must be one of {SHARD_POLICIES}, got {name!r}")
 
 
 # ----------------------------------------------------------------------
@@ -180,6 +149,14 @@ def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
         return searcher.insert(args)
     if op == "delete":
         return searcher.delete(args)
+    if op == "extract":
+        # Migration copy step: the live records among the planned ids (a
+        # record deleted since planning is silently skipped).
+        return searcher.get_many(args)
+    if op == "insert-many":
+        return searcher.insert_many(args)
+    if op == "delete-many":
+        return searcher.delete_many(args)
     if op == "compact":
         return searcher.compact()
     if op == "records":
@@ -296,21 +273,49 @@ class _ProcessShard:
 
 
 # ----------------------------------------------------------------------
+# Live migration state
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class _LiveMigration:
+    """One in-flight fleet resize: the bounded-batch migration plan.
+
+    ``copies`` holds the pending copy steps ``(donor, recipient, ids)``;
+    each executed copy appends a matching release step ``(donor, ids)`` to
+    ``releases``.  ``dual`` tracks the copied-but-not-released ids (and
+    their donor shard): those records are physically present on two shards,
+    which the router's merges deduplicate and its deletes clean up eagerly.
+    """
+
+    kind: str  # "add-shard" | "remove-shard"
+    old_policy: PlacementMap
+    retiring: int | None  # shard worker to close once the plan is drained
+    copies: deque  # of (donor, recipient, list[record_id])
+    donors: frozenset[int]
+    rows_total: int
+    releases: deque = field(default_factory=deque)  # of (donor, list[id])
+    dual: dict = field(default_factory=dict)  # record id -> donor shard
+    rows_copied: int = 0
+    rows_released: int = 0
+
+
+# ----------------------------------------------------------------------
 # Router
 # ----------------------------------------------------------------------
 class ShardRouter:
-    """Scatter-gather facade over ``N`` shard workers.
+    """Scatter-gather facade over an elastic fleet of shard workers.
 
     Duck-types the :class:`DynamicSearcher` surface the serving core uses
     (``search``/``search_top_k``/``insert``/``delete``/``compact``/
     ``epoch``/``statistics``/``len``), so :class:`SimilarityService` serves
     a sharded collection through the exact same dispatch code.  Results are
-    element-identical to a single unsharded searcher over the same records.
+    element-identical to a single unsharded searcher over the same records
+    — including while an :meth:`add_shard`/:meth:`remove_shard` migration
+    is in flight.
 
     Record ids must be unique across the initial collection (auto-numbered
     plain strings always are); a duplicate raises ``ValueError``, since two
     live records sharing an id could land on different shards and break the
-    no-deduplication merge.
+    merge.
 
     Parameters
     ----------
@@ -321,16 +326,24 @@ class ShardRouter:
     max_tau:
         Largest per-query threshold, forwarded to every shard index.
     policy:
-        ``"hash"`` (uniform, scatter-all) or ``"length"`` (length bands,
-        queries touch only intersecting shards).
+        ``"hash"`` (consistent-hashing ring, scatter-all), ``"length"``
+        (length bands, queries touch only intersecting shards), or
+        ``"modulo"`` (legacy ``id % N``).
     backend:
         ``"thread"`` (in-process), ``"process"`` (fork workers), or
         ``"auto"`` (process on multi-core fork platforms, thread elsewhere).
+    migration_batch:
+        Records one live-resharding step moves between two shards (bounds
+        how long a step blocks queries).
 
     Examples
     --------
     >>> router = ShardRouter(["vldb", "pvldb", "icde"], shards=2, max_tau=1,
     ...                      backend="thread")
+    >>> [m.text for m in router.search("vldb", tau=1)]
+    ['vldb', 'pvldb']
+    >>> router.add_shard()["shards"]
+    3
     >>> [m.text for m in router.search("vldb", tau=1)]
     ['vldb', 'pvldb']
     >>> router.close()
@@ -340,17 +353,27 @@ class ShardRouter:
                  shards: int, max_tau: int,
                  partition: PartitionStrategy = PartitionStrategy.EVEN,
                  compact_interval: int = 64, policy: str = "hash",
-                 backend: str = "auto") -> None:
+                 backend: str = "auto", migration_batch: int = 256) -> None:
         if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
             raise ConfigurationError(
                 f"shards must be a positive integer, got {shards!r}")
+        if (isinstance(migration_batch, bool)
+                or not isinstance(migration_batch, int) or migration_batch < 1):
+            raise ConfigurationError(
+                f"migration_batch must be a positive integer, "
+                f"got {migration_batch!r}")
         self.max_tau = validate_threshold(max_tau)
         self.num_shards = shards
-        self.policy = make_shard_policy(policy, shards, self.max_tau)
+        self.policy = make_placement_map(policy, shards, self.max_tau)
         self.backend = resolve_shard_backend(backend)
+        self.migration_batch = migration_batch
+        self._partition = partition
+        self._compact_interval = compact_interval
 
         per_shard: list[list[StringRecord]] = [[] for _ in range(shards)]
         self._shard_of: dict[int, int] = {}  # live record id -> shard index
+        self._length_of: dict[int, int] = {}  # live record id -> text length
+        self._length_counts: dict[int, int] = {}  # live length -> record count
         self._next_id = 0
         for record in as_records(strings):
             if record.id in self._shard_of:
@@ -359,21 +382,47 @@ class ShardRouter:
                     f"sharded results are only exact over unique ids")
             shard = self.policy.place(record.id, record.length)
             per_shard[shard].append(record)
-            self._shard_of[record.id] = shard
-            self._next_id = max(self._next_id, record.id + 1)
+            self._track_live(record.id, record.length, shard)
 
-        contexts = [ShardContext(records=bucket, max_tau=self.max_tau,
-                                 partition=partition,
-                                 compact_interval=compact_interval)
-                    for bucket in per_shard]
-        if self.backend == "process":
-            mp_context = multiprocessing.get_context("fork")
-            self._shards: list = [_ProcessShard(context, mp_context)
-                                  for context in contexts]
-        else:
-            self._shards = [_InProcessShard(context) for context in contexts]
+        self._mp_context = (multiprocessing.get_context("fork")
+                            if self.backend == "process" else None)
+        self._shards = [
+            self._spawn(ShardContext(records=bucket, max_tau=self.max_tau,
+                                     partition=partition,
+                                     compact_interval=compact_interval))
+            for bucket in per_shard]
         self._epochs = [0] * shards
+        # Epochs of retired shards fold into the base so the scalar epoch
+        # stays monotone across remove_shard.
+        self._epoch_base = 0
+        # Placement generation: bumped when a migration starts and when it
+        # finishes, i.e. whenever any query's probe set may change.  Part
+        # of every cache token, so cached answers never survive a resize.
+        self._generation = 0
+        self._migration: _LiveMigration | None = None
+        self._last_migration: dict = {}
+        self.rows_migrated_total = 0
         self._closed = False
+
+    def _spawn(self, context: ShardContext):
+        if self.backend == "process":
+            return _ProcessShard(context, self._mp_context)
+        return _InProcessShard(context)
+
+    def _track_live(self, record_id: int, length: int, shard: int) -> None:
+        self._shard_of[record_id] = shard
+        self._length_of[record_id] = length
+        self._length_counts[length] = self._length_counts.get(length, 0) + 1
+        self._next_id = max(self._next_id, record_id + 1)
+
+    def _untrack_live(self, record_id: int) -> None:
+        del self._shard_of[record_id]
+        length = self._length_of.pop(record_id)
+        remaining = self._length_counts[length] - 1
+        if remaining:
+            self._length_counts[length] = remaining
+        else:
+            del self._length_counts[length]
 
     # ------------------------------------------------------------------
     # Scatter-gather plumbing
@@ -436,32 +485,44 @@ class ShardRouter:
 
     @property
     def epoch(self) -> int:
-        """Scalar mutation counter: the sum of the per-shard epochs.
+        """Scalar mutation counter: retired plus live per-shard epochs.
 
-        Monotone (each shard epoch only grows) and moved by every mutation,
-        so it serves the wire protocol's ``epoch`` field; cache keys use the
-        finer-grained :meth:`epoch_token` instead.
+        Monotone — each shard epoch only grows, and a removed shard's
+        final epoch folds into a base term instead of vanishing — and
+        moved by every mutation, so it serves the wire protocol's
+        ``epoch`` field; cache keys use the finer-grained
+        :meth:`epoch_token` instead.
         """
-        return sum(self._epochs)
+        return self._epoch_base + sum(self._epochs)
 
     @property
     def epoch_vector(self) -> tuple[int, ...]:
         """Per-shard mutation counters, in shard order."""
         return tuple(self._epochs)
 
+    @property
+    def generation(self) -> int:
+        """Placement generation: bumped whenever probe sets may change."""
+        return self._generation
+
     def epoch_token(self, key: tuple) -> tuple[int, ...]:
-        """Epochs of the shards a query key depends on (the cache key part).
+        """Cache-key part: generation plus the probed shards' epochs.
 
         ``key`` is a serving-core query key — ``("search", query, tau)`` or
-        ``("top-k", query, k, limit)``.  The shard set is a pure function of
-        the query and threshold, so the token needs only the epochs, in
-        shard order: a mutation on any probed shard changes the token (and
-        thereby misses the cache), while mutations on unrelated shards leave
-        it — and every cached answer that only probes other shards — intact.
+        ``("top-k", query, k, limit)``.  Within one placement generation
+        the probe set is a pure function of the query and threshold, so
+        the token needs only the epochs, in shard order: a mutation on any
+        probed shard changes the token (and thereby misses the cache),
+        while mutations on unrelated shards leave it — and every cached
+        answer that only probes other shards — intact.  The leading
+        generation term changes when a resize starts or finishes, so no
+        cached answer can be served across a placement change it did not
+        see.
         """
         tau = key[2] if key[0] == "search" else key[3]
-        targets = self.policy.probe_shards(len(key[1]), tau)
-        return tuple(self._epochs[shard] for shard in targets)
+        targets = self._probe_targets(len(key[1]), tau)
+        return (self._generation,
+                *(self._epochs[shard] for shard in targets))
 
     @property
     def tombstone_count(self) -> int:
@@ -470,10 +531,16 @@ class ShardRouter:
 
     @property
     def records(self) -> list[StringRecord]:
-        """The live records across all shards, ordered by id (a snapshot)."""
+        """The live records across all shards, ordered by id (a snapshot).
+
+        During a migration a moving record is briefly present on both its
+        donor and its recipient; the two copies are identical and are
+        collapsed here, exactly as the query merges collapse them.
+        """
         gathered = self._scatter(range(self.num_shards), "records", None)
-        merged = [record for bucket in gathered for record in bucket]
-        return sorted(merged, key=lambda record: record.id)
+        merged = {record.id: record
+                  for bucket in gathered for record in bucket}
+        return [merged[record_id] for record_id in sorted(merged)]
 
     @property
     def statistics(self) -> JoinStatistics:
@@ -501,8 +568,8 @@ class ShardRouter:
             tombstones += status["tombstones"]
             merged = merged.merge(status["statistics"])
             shard_memory.append(status["memory"])
-            for field, value in status["memory"].items():
-                memory[field] = memory.get(field, 0) + value
+            for field_name, value in status["memory"].items():
+                memory[field_name] = memory.get(field_name, 0) + value
         return {"tombstones": tombstones, "statistics": merged,
                 "memory": memory, "shard_memory": shard_memory}
 
@@ -525,25 +592,36 @@ class ShardRouter:
 
         Same id semantics as :meth:`DynamicSearcher.insert`: auto-assigned
         one above the largest ever seen unless given, inserting a live id
-        raises ``ValueError``, re-using a tombstoned id is allowed.
+        raises ``ValueError``, re-using a tombstoned id is allowed.  While
+        a migration is in flight, placement follows the **new** map — the
+        fleet layout the migration is moving towards.
         """
         record = coerce_insert_record(text, id, self._next_id)
         if record.id in self._shard_of:
             raise ValueError(f"id {record.id} is already in the collection")
         shard = self.policy.place(record.id, record.length)
         self._call(shard, "insert", record)
-        self._shard_of[record.id] = shard
-        self._next_id = max(self._next_id, record.id + 1)
+        self._track_live(record.id, record.length, shard)
         return record.id
 
     def delete(self, record_id: int) -> bool:
-        """Tombstone one record on its owning shard; False when not live."""
+        """Tombstone one record on its owning shard; False when not live.
+
+        A record that is dual-present mid-migration (copied to its
+        recipient, not yet released from its donor) is deleted from both
+        shards, so the donor copy cannot resurface in later searches.
+        """
         shard = self._shard_of.get(record_id)
         if shard is None:
             return False
         deleted = self._call(shard, "delete", record_id)
         if deleted:
-            del self._shard_of[record_id]
+            self._untrack_live(record_id)
+            migration = self._migration
+            if migration is not None:
+                donor = migration.dual.pop(record_id, None)
+                if donor is not None:
+                    self._call(donor, "delete", record_id)
         return bool(deleted)
 
     def compact(self) -> int:
@@ -551,23 +629,241 @@ class ShardRouter:
         return sum(self._scatter(range(self.num_shards), "compact", None))
 
     # ------------------------------------------------------------------
+    # Live resharding
+    # ------------------------------------------------------------------
+    def add_shard(self, *, drain: bool = True) -> dict:
+        """Grow the fleet by one empty shard and rebalance onto it.
+
+        Starts a live migration from the current placement map to the same
+        map resized over ``num_shards + 1`` workers.  With ``drain=True``
+        (default) the whole plan executes before returning; with
+        ``drain=False`` it is left in flight for :meth:`migration_step` —
+        queries and mutations remain fully available either way.  Returns
+        :meth:`rebalance_status`.
+        """
+        self._require_idle()
+        self._shards.append(self._spawn(
+            ShardContext(records=[], max_tau=self.max_tau,
+                         partition=self._partition,
+                         compact_interval=self._compact_interval)))
+        self._epochs.append(0)
+        self.num_shards += 1
+        self._start_migration("add-shard",
+                              self.policy.resized(self.num_shards),
+                              retiring=None)
+        if drain:
+            self.drain_migration()
+        return self.rebalance_status()
+
+    def remove_shard(self, shard: int | None = None, *,
+                     drain: bool = True) -> dict:
+        """Shrink the fleet by retiring its highest-numbered shard.
+
+        Streams every record off the retiring shard (and, under the
+        ``length`` policy, re-deals the remaining bands) before closing its
+        worker.  Only the last shard can be retired: lower shard indices
+        must stay stable because the placement maps address shards by
+        index.  ``drain`` as in :meth:`add_shard`.
+        """
+        self._require_idle()
+        if self.num_shards <= 1:
+            raise ServiceError("cannot remove the only shard")
+        last = self.num_shards - 1
+        if shard is not None and shard != last:
+            raise ServiceError(
+                f"only the highest-numbered shard can be removed "
+                f"(got {shard}, expected {last}); lower shard indices must "
+                f"stay stable for the placement map")
+        self._start_migration("remove-shard", self.policy.resized(last),
+                              retiring=last)
+        if drain:
+            self.drain_migration()
+        return self.rebalance_status()
+
+    def migration_step(self) -> dict:
+        """Run one bounded migration action; return :meth:`rebalance_status`.
+
+        Either copies one batch of records from a donor to its recipient
+        (after which those records are dual-present and queries dedupe
+        them) or releases one already-copied batch from its donor.  A
+        no-op when no migration is active.  The last step compacts the
+        donors — physically releasing the moved rows from their record
+        stores — and, for ``remove-shard``, closes the retiring worker.
+        """
+        migration = self._migration
+        if migration is None:
+            return self.rebalance_status()
+        if migration.copies:
+            donor, recipient, planned = migration.copies.popleft()
+            # Re-validate the plan against the present: skip records the
+            # caller deleted since planning, and records whose placement
+            # changed again (a tombstoned id re-inserted with a new length
+            # is already where the new map wants it).
+            ids = [record_id for record_id in planned
+                   if self._shard_of.get(record_id) == donor
+                   and self.policy.place(
+                       record_id, self._length_of[record_id]) == recipient]
+            if ids:
+                records = self._call(donor, "extract", ids)
+                self._call(recipient, "insert-many", records)
+                moved = []
+                for record in records:
+                    moved.append(record.id)
+                    self._shard_of[record.id] = recipient
+                    migration.dual[record.id] = donor
+                migration.rows_copied += len(moved)
+                migration.releases.append((donor, moved))
+        elif migration.releases:
+            donor, copied = migration.releases.popleft()
+            pending = [record_id for record_id in copied
+                       if migration.dual.pop(record_id, None) is not None]
+            if pending:
+                self._call(donor, "delete-many", pending)
+            migration.rows_released += len(pending)
+        if not migration.copies and not migration.releases:
+            self._finish_migration()
+        return self.rebalance_status()
+
+    def drain_migration(self) -> dict:
+        """Run migration steps until no migration is active."""
+        while self._migration is not None:
+            self.migration_step()
+        return self.rebalance_status()
+
+    def rebalance_status(self) -> dict:
+        """Progress of the in-flight (or summary of the last) migration."""
+        status = {
+            "active": self._migration is not None,
+            "shards": self.num_shards,
+            "policy": self.policy.name,
+            "generation": self._generation,
+            "rows_migrated_total": self.rows_migrated_total,
+        }
+        migration = self._migration
+        if migration is not None:
+            status.update(
+                kind=migration.kind, rows_total=migration.rows_total,
+                rows_copied=migration.rows_copied,
+                rows_released=migration.rows_released,
+                steps_left=len(migration.copies) + len(migration.releases))
+        else:
+            status.update(self._last_migration)
+        return status
+
+    def _require_idle(self) -> None:
+        if self._migration is not None:
+            raise ServiceError(
+                "a resharding migration is already in flight; poll "
+                "rebalance-status until it completes")
+
+    def _start_migration(self, kind: str, new_policy: PlacementMap,
+                         retiring: int | None) -> None:
+        """Diff old vs new placement into bounded copy batches; activate."""
+        moves: dict[tuple[int, int], list[int]] = {}
+        for record_id, shard in self._shard_of.items():
+            target = new_policy.place(record_id, self._length_of[record_id])
+            if target != shard:
+                moves.setdefault((shard, target), []).append(record_id)
+        copies: deque = deque()
+        rows_total = 0
+        for donor, recipient in sorted(moves):
+            ids = sorted(moves[(donor, recipient)])
+            rows_total += len(ids)
+            for start in range(0, len(ids), self.migration_batch):
+                copies.append((donor, recipient,
+                               ids[start:start + self.migration_batch]))
+        old_policy, self.policy = self.policy, new_policy
+        self._generation += 1
+        self._migration = _LiveMigration(
+            kind=kind, old_policy=old_policy, retiring=retiring,
+            copies=copies, donors=frozenset(donor for donor, _ in moves),
+            rows_total=rows_total)
+        if not copies:
+            self._finish_migration()
+
+    def _finish_migration(self) -> None:
+        migration = self._migration
+        assert migration is not None
+        assert not migration.dual, "dual-present records left behind"
+        donors = sorted(migration.donors)
+        if donors:
+            # Purge the donors' migration tombstones so the moved rows are
+            # physically released and per-shard row counts re-balance now,
+            # not at some future compaction.
+            self._scatter(donors, "compact", None)
+        if migration.retiring is not None:
+            donor = migration.retiring
+            assert donor == self.num_shards - 1
+            self._shards[donor].close()
+            del self._shards[donor]
+            self._epoch_base += self._epochs[donor]
+            del self._epochs[donor]
+            self.num_shards -= 1
+        self.rows_migrated_total += migration.rows_copied
+        self._generation += 1
+        self._migration = None
+        self._last_migration = {
+            "kind": migration.kind, "rows_total": migration.rows_total,
+            "rows_copied": migration.rows_copied,
+            "rows_released": migration.rows_released}
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
-        """Scatter a threshold search, merge under ``(distance, id)``.
+    def _probe_targets(self, query_length: int, tau: int) -> tuple[int, ...]:
+        """Shards a query must scatter to right now (possibly none).
 
-        The shards partition the id space, so concatenating the per-shard
-        result lists loses nothing and duplicates nothing; the merged list
-        is element-identical to an unsharded :class:`DynamicSearcher`.
+        Empty when no live record's length falls inside
+        ``[query_length − tau, query_length + tau]`` — a match would need
+        an edit distance above ``tau`` on length difference alone, so the
+        query is answered ``[]`` without touching any shard (the
+        empty-band fast path of the ``length`` policy, valid for every
+        policy).  During a migration the old and new maps' probe sets are
+        unioned: an unmoved record is still covered by the old map, a
+        moved one by the new.
         """
+        counts = self._length_counts
+        if not any(length in counts
+                   for length in range(max(0, query_length - tau),
+                                       query_length + tau + 1)):
+            return ()
+        targets = self.policy.probe_shards(query_length, tau)
+        migration = self._migration
+        if migration is not None:
+            union = set(targets)
+            union.update(migration.old_policy.probe_shards(query_length, tau))
+            targets = tuple(sorted(union))
+        return targets
+
+    def _merge(self, gathered: Iterable[Sequence[SearchMatch]],
+               ) -> list[SearchMatch]:
+        """Merge per-shard result lists under ``(distance, id)``.
+
+        Outside a migration the shards partition the id space, so plain
+        concatenation loses nothing and duplicates nothing.  During a
+        migration a dual-present record is probed on both its donor and
+        its recipient with identical ``(distance, id, text)``; the merge
+        drops the second copy, keeping results element-identical to an
+        unsharded searcher.
+        """
+        merged = [match for bucket in gathered for match in bucket]
+        merged.sort(key=SearchMatch.sort_key)
+        if self._migration is not None:
+            seen: set[int] = set()
+            merged = [match for match in merged
+                      if match.id not in seen and not seen.add(match.id)]
+        return merged
+
+    def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
+        """Scatter a threshold search, merge under ``(distance, id)``."""
         tau = self.max_tau if tau is None else validate_threshold(tau)
         if tau > self.max_tau:
             raise InvalidThresholdError(tau)
-        targets = self.policy.probe_shards(len(query), tau)
+        targets = self._probe_targets(len(query), tau)
+        if not targets:
+            return []
         gathered = self._scatter(targets, "search", (query, tau))
-        merged = [match for bucket in gathered for match in bucket]
-        merged.sort(key=SearchMatch.sort_key)
-        return merged
+        return self._merge(gathered)
 
     def search_many(self, queries: Sequence[str],
                     tau: int | Sequence[int | None] | None = None,
@@ -576,20 +872,21 @@ class ShardRouter:
 
         Each shard receives only the sub-batch of queries whose probe set
         includes it (a pure function of query length and threshold under
-        the placement policy), runs its own grouped
+        the placement map), runs its own grouped
         :meth:`DynamicSearcher.search_many
         <repro.service.dynamic.DynamicSearcher.search_many>` pass, and the
         router merges the per-shard answers under the canonical
         ``(distance, id)`` ordering.  Results are element-identical to the
-        unsharded batch (and therefore to per-query :meth:`search` calls).
+        unsharded batch (and therefore to per-query :meth:`search` calls);
+        queries whose probe set is empty stay ``[]`` without scattering.
         """
         taus = resolve_query_taus(queries, tau, self.max_tau)
         sub_batches: dict[int, list[tuple[int, str, int]]] = {}
         for position, (query, query_tau) in enumerate(zip(queries, taus)):
-            for shard in self.policy.probe_shards(len(query), query_tau):
+            for shard in self._probe_targets(len(query), query_tau):
                 sub_batches.setdefault(shard, []).append(
                     (position, query, query_tau))
-        merged: list[list[SearchMatch]] = [[] for _ in queries]
+        per_query: list[list[SearchMatch]] = [[] for _ in queries]
         targets = sorted(sub_batches)
         if targets:
             gathered = self._scatter_each(
@@ -600,10 +897,8 @@ class ShardRouter:
             for shard, bucket in zip(targets, gathered):
                 for (position, _, _), matches in zip(sub_batches[shard],
                                                      bucket):
-                    merged[position].extend(matches)
-        for matches in merged:
-            matches.sort(key=SearchMatch.sort_key)
-        return merged
+                    per_query[position].append(matches)
+        return [self._merge(buckets) for buckets in per_query]
 
     def search_top_k(self, query: str, k: int,
                      max_tau: int | None = None) -> list[SearchMatch]:
@@ -615,16 +910,18 @@ class ShardRouter:
         top-k.  The union of the local top-k lists therefore contains the
         global top-k, and the canonical ``(distance, id)`` sort makes the
         selection deterministic and identical to the unsharded searcher.
+        (A dual-present record mid-migration contributes two identical
+        copies; the merge dedupes them before the cut to ``k``.)
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         limit = self.max_tau if max_tau is None else min(
             validate_threshold(max_tau), self.max_tau)
-        targets = self.policy.probe_shards(len(query), limit)
+        targets = self._probe_targets(len(query), limit)
+        if not targets:
+            return []
         gathered = self._scatter(targets, "top-k", (query, k, limit))
-        merged = [match for bucket in gathered for match in bucket]
-        merged.sort(key=SearchMatch.sort_key)
-        return merged[:k]
+        return self._merge(gathered)[:k]
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -226,7 +226,8 @@ class TestServeAndQuery:
                          "--port", "0", "--cache-capacity", "16",
                          "--compact-interval", "8", "--limit", "3",
                          "--shards", "2", "--shard-policy", "length",
-                         "--shard-backend", "thread"]) == 0
+                         "--shard-backend", "thread",
+                         "--migration-batch", "32"]) == 0
         config = captured_args["config"]
         assert config.max_tau == 1
         assert config.port == 0
@@ -235,6 +236,7 @@ class TestServeAndQuery:
         assert config.shards == 2
         assert config.shard_policy == "length"
         assert config.shard_backend == "thread"
+        assert config.migration_batch == 32
         assert len(captured_args["strings"]) == 3
         err = capsys.readouterr().err
         assert "serving 3 strings" in err
@@ -244,6 +246,86 @@ class TestServeAndQuery:
         code = main(["serve", str(tmp_path / "nope.txt")])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestAdmin:
+    def sharded_server(self):
+        from repro.config import ServiceConfig
+        from repro.service import BackgroundServer
+
+        strings = [f"string{i:02d}" for i in range(30)]
+        return BackgroundServer(strings, ServiceConfig(
+            port=0, max_tau=2, shards=2, shard_backend="thread",
+            migration_batch=4))
+
+    def test_reshard_grows_and_shrinks_to_target(self, capsys):
+        with self.sharded_server() as (host, port):
+            assert main(["admin", "reshard", "--shards", "4",
+                         "--host", host, "--port", str(port)]) == 0
+            captured = capsys.readouterr()
+            assert "now 4 shard(s)" in captured.err
+            assert "shards: 4" in captured.out
+            assert main(["admin", "reshard", "--shards", "2",
+                         "--host", host, "--port", str(port)]) == 0
+            captured = capsys.readouterr()
+            assert "now 2 shard(s)" in captured.err
+            assert "shards: 2" in captured.out
+
+    def test_reshard_to_current_size_is_a_noop(self, capsys):
+        with self.sharded_server() as (host, port):
+            assert main(["admin", "reshard", "--shards", "2",
+                         "--host", host, "--port", str(port)]) == 0
+            assert "rebalance: idle" in capsys.readouterr().out
+
+    def test_status_prints_balance(self, capsys):
+        with self.sharded_server() as (host, port):
+            assert main(["admin", "status",
+                         "--host", host, "--port", str(port)]) == 0
+            out = capsys.readouterr().out
+            assert "shards: 2" in out
+            assert "rows per shard:" in out
+            assert "rows migrated (lifetime): 0" in out
+
+    def test_admin_on_unsharded_server_reports_error(self, capsys):
+        from repro.config import ServiceConfig
+        from repro.service import BackgroundServer
+
+        with BackgroundServer(["vldb"], ServiceConfig(
+                port=0, max_tau=1)) as (host, port):
+            assert main(["admin", "reshard", "--shards", "2",
+                         "--host", host, "--port", str(port)]) == 1
+            assert "unsharded" in capsys.readouterr().err
+
+    def test_admin_unreachable_server_reports_error(self, capsys):
+        assert main(["admin", "status", "--host", "127.0.0.1",
+                     "--port", "1"]) == 1
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_admin_server_dying_mid_request_reports_error(self, capsys):
+        # A server that accepts the connection but drops it mid-request
+        # surfaces as ProtocolError, not OSError; admin must still exit 1
+        # with the friendly message instead of a traceback.
+        import socket
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def accept_and_hang_up():
+            conn, _ = listener.accept()
+            conn.close()
+
+        worker = threading.Thread(target=accept_and_hang_up, daemon=True)
+        worker.start()
+        try:
+            assert main(["admin", "status", "--host", "127.0.0.1",
+                         "--port", str(port)]) == 1
+            assert "cannot reach server" in capsys.readouterr().err
+        finally:
+            worker.join(timeout=5)
+            listener.close()
 
 
 class TestParser:

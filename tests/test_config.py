@@ -94,24 +94,52 @@ class TestServiceConfig:
         ("batch_window", -0.1), ("batch_window", "fast"),
         ("compact_interval", -1),
         ("shards", 0), ("shards", True), ("shards", 1.5),
-        ("shard_policy", "modulo"), ("shard_policy", 3),
+        ("shard_policy", "round-robin"), ("shard_policy", 3),
         ("shard_backend", "forkserver"),
+        ("migration_batch", 0), ("migration_batch", -3),
+        ("migration_batch", True), ("migration_batch", 2.5),
     ])
     def test_invalid_values_rejected(self, field, bad):
         with pytest.raises((ConfigurationError, InvalidThresholdError)):
             ServiceConfig(**{field: bad})
+
+    def test_bad_shards_rejected_at_construction(self):
+        # The full sharded stack must never see shards < 1: the config
+        # object is the validation boundary, with a clear ConfigError.
+        with pytest.raises(ConfigurationError, match="shards"):
+            ServiceConfig(shards=0)
+        with pytest.raises(ConfigurationError, match="shards"):
+            ServiceConfig(shards=-2)
+
+    def test_bad_migration_batch_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="migration_batch"):
+            ServiceConfig(migration_batch=0)
+
+    def test_unknown_shard_policy_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="shard_policy"):
+            ServiceConfig(shard_policy="zipcode")
+
+    def test_config_error_alias_catches_configuration_errors(self):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError):
+            ServiceConfig(shards=0)
 
     def test_sharding_defaults_are_unsharded(self):
         config = ServiceConfig()
         assert config.shards == 1
         assert config.shard_policy == "hash"
         assert config.shard_backend == "auto"
+        assert config.migration_batch == 256
 
     def test_sharding_fields_accepted(self):
         config = ServiceConfig(shards=4, shard_policy="length",
-                               shard_backend="thread")
-        assert (config.shards, config.shard_policy,
-                config.shard_backend) == (4, "length", "thread")
+                               shard_backend="thread", migration_batch=32)
+        assert (config.shards, config.shard_policy, config.shard_backend,
+                config.migration_batch) == (4, "length", "thread", 32)
+
+    def test_modulo_policy_accepted(self):
+        assert ServiceConfig(shard_policy="modulo").shard_policy == "modulo"
 
     def test_frozen(self):
         with pytest.raises(AttributeError):

@@ -16,8 +16,7 @@ from hypothesis import given, settings, strategies as st
 from repro.config import ServiceConfig
 from repro.exceptions import ConfigurationError, InvalidThresholdError
 from repro.service import DynamicSearcher, ShardRouter, SimilarityService
-from repro.service.sharding import (HashShardPolicy, LengthShardPolicy,
-                                    make_shard_policy, resolve_shard_backend)
+from repro.service.sharding import resolve_shard_backend
 from repro.types import StringRecord
 
 from helpers import random_strings
@@ -27,41 +26,12 @@ FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
 needs_fork = pytest.mark.skipif(not FORK_AVAILABLE,
                                 reason="process backend requires fork")
 
+#: Every placement policy the router accepts (unit-level coverage of the
+#: maps themselves lives in test_placement.py).
+ALL_POLICIES = ["hash", "length", "modulo"]
 
-class TestPolicies:
-    def test_hash_places_by_id_and_probes_everything(self):
-        policy = HashShardPolicy(3, max_tau=2)
-        assert [policy.place(i, 10) for i in range(6)] == [0, 1, 2, 0, 1, 2]
-        assert policy.probe_shards(5, 0) == (0, 1, 2)
 
-    def test_length_colocates_similar_lengths(self):
-        policy = LengthShardPolicy(4, max_tau=2)  # band width 3
-        assert policy.place(99, 0) == policy.place(7, 2) == 0
-        assert policy.place(0, 3) == 1
-
-    def test_length_probes_only_intersecting_shards(self):
-        policy = LengthShardPolicy(4, max_tau=2)
-        # lengths [7, 9] -> bands 2..3 -> shards 2 and 3, nothing else.
-        assert policy.probe_shards(8, 1) == (2, 3)
-        # with fewer shards than bands in the window, scatter to all.
-        assert LengthShardPolicy(2, max_tau=2).probe_shards(8, 2) == (0, 1)
-
-    def test_every_length_window_is_covered(self):
-        # Soundness: the shard that owns a record of length l is always in
-        # the probe set of any query whose window includes l.
-        for shards in (2, 3, 5):
-            policy = LengthShardPolicy(shards, max_tau=2)
-            for query_length in range(0, 30):
-                for tau in (0, 1, 2):
-                    probed = set(policy.probe_shards(query_length, tau))
-                    for length in range(max(0, query_length - tau),
-                                        query_length + tau + 1):
-                        assert policy.place(0, length) in probed
-
-    def test_unknown_policy_rejected(self):
-        with pytest.raises(ConfigurationError):
-            make_shard_policy("modulo", 2, 1)
-
+class TestBackends:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError):
             resolve_shard_backend("threads")
@@ -134,7 +104,8 @@ class TestRouterBasics:
             assert [m.text for m in router.search("qrstuv", tau=0)] == ["qrstuv"]
 
     def test_mutations_bump_only_the_owning_shard(self):
-        with make_router(max_tau=1, policy="hash") as router:
+        # The modulo policy pins ids to shards deterministically.
+        with make_router(max_tau=1, policy="modulo") as router:
             router.insert("aaaa", id=0)   # shard 0
             assert router.epoch_vector == (1, 0, 0)
             router.insert("bbbb", id=4)   # 4 % 3 == 1
@@ -192,7 +163,8 @@ class TestEpochToken:
         with make_router(["aaaa"], policy="hash") as router:
             key = ("search", "aaaa", 1)
             before = router.epoch_token(key)
-            assert before == router.epoch_vector
+            # generation term first, then the probed (= all) shard epochs.
+            assert before == (router.generation, *router.epoch_vector)
             router.insert("bbbb")
             assert router.epoch_token(key) != before
 
@@ -275,7 +247,7 @@ OPS = st.lists(
 class TestShardEquivalence:
     """The acceptance property: sharded answers are element-identical."""
 
-    @pytest.mark.parametrize("policy", ["hash", "length"])
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
     @given(ops=OPS,
            queries=st.lists(st.text(alphabet="ab", max_size=8), min_size=1,
                             max_size=4),
@@ -289,7 +261,7 @@ class TestShardEquivalence:
                 for tau in range(max_tau + 1):
                     assert router.search(query, tau) == single.search(query, tau)
 
-    @pytest.mark.parametrize("policy", ["hash", "length"])
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
     @given(ops=OPS,
            query=st.text(alphabet="ab", max_size=8),
            k=st.integers(min_value=1, max_value=5))
@@ -301,7 +273,7 @@ class TestShardEquivalence:
 
     def test_scripted_interleaving_both_policies(self):
         strings = random_strings(60, 2, 12, alphabet="abc", seed=5)
-        for policy in ("hash", "length"):
+        for policy in ALL_POLICIES:
             single = DynamicSearcher(strings[:45], max_tau=2)
             with make_router(strings[:45], policy=policy) as router:
                 for record_id in (0, 9, 17, 44):
@@ -341,11 +313,12 @@ class TestProcessBackend:
                 "abcdef"]
 
     def test_dead_worker_does_not_desync_healthy_shards(self):
-        # "abcdef" has id 0 -> shard 0; kill shard 1's worker.  A scatter
-        # that includes the dead shard fails at send time, but shard 0's
-        # reply must still be drained — otherwise the next op on shard 0
-        # would read this op's stale answer off the pipe.
-        with make_router(["abcdef", "qrstuv"], shards=2,
+        # Modulo placement: "abcdef" has id 0 -> shard 0; kill shard 1's
+        # worker.  A scatter that includes the dead shard fails at send
+        # time, but shard 0's reply must still be drained — otherwise the
+        # next op on shard 0 would read this op's stale answer off the
+        # pipe.
+        with make_router(["abcdef", "qrstuv"], shards=2, policy="modulo",
                          backend="process") as router:
             router._shards[1]._process.kill()
             router._shards[1]._process.join(timeout=5)
