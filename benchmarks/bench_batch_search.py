@@ -16,7 +16,8 @@ entry points:
       PYTHONPATH=src python benchmarks/bench_batch_search.py \\
           --size 2000 --tau 2 --queries 512 --batch 64
 
-  and exits non-zero if any bar is missed.
+  exits non-zero if any bar is missed, and appends the measurements to the
+  ``BENCH_batch_search.json`` trajectory (``--no-json`` to skip).
 """
 
 from __future__ import annotations
@@ -30,7 +31,8 @@ except ImportError:  # pragma: no cover - script mode
     BENCH_SCALE, record_table = 0.25, None
 
 from repro.bench.experiments import batch_search
-from repro.bench.reporting import format_table
+from repro.bench.reporting import (append_bench_run, bench_run_payload,
+                                   bench_trajectory_path, format_table)
 
 #: Acceptance bar: batched must reach this multiple of sequential qps on
 #: the 64-query / 10%-distinct workload.
@@ -67,11 +69,15 @@ def test_batch_search(benchmark):
 
 
 def run_batch_demo(size: int, tau: int, queries: int, batch_size: int,
-                   distinct_fraction: float, seed: int = 7) -> int:
+                   distinct_fraction: float, seed: int = 7,
+                   json_dir: str | None = None) -> int:
     """Run the workload at ``size`` author strings, print the table.
 
     Returns 0 when batched search beat the 1.3x bar with identical results
-    and the columnar index undercuts the object layout; 1 otherwise.
+    and the columnar index undercuts the object layout; 1 otherwise.  When
+    ``json_dir`` is given, the measurements extend the
+    ``BENCH_batch_search.json`` trajectory there (failures included — a
+    missed bar is exactly the kind of run the history should record).
     """
     from repro.bench.experiments import DEFAULT_SIZES
 
@@ -81,6 +87,26 @@ def run_batch_demo(size: int, tau: int, queries: int, batch_size: int,
                          distinct_fraction=distinct_fraction, seed=seed)
     print(format_table(table))
     failures = _verify(table)
+    if json_dir is not None:
+        sequential, batch = _check_rows(table)
+        metrics = {
+            "size": size,
+            "tau": tau,
+            "queries": queries,
+            "batch_size": batch_size,
+            "distinct_fraction": distinct_fraction,
+            "sequential_qps": sequential["qps"],
+            "batch_qps": batch["qps"],
+            "speedup": batch["speedup"],
+            "speedup_target": SPEEDUP_TARGET,
+            "index_bytes": batch["index_bytes"],
+            "object_index_bytes": batch["object_index_bytes"],
+            "passed": not failures,
+        }
+        path = bench_trajectory_path(json_dir, "batch-search")
+        document = append_bench_run(
+            path, "batch-search", bench_run_payload(metrics, tables=[table]))
+        print(f"trajectory: {path} ({len(document['runs'])} run(s))")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -99,9 +125,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="queries per search_many batch (default 64)")
     parser.add_argument("--distinct", type=float, default=0.1,
                         help="fraction of distinct queries (default 0.1)")
+    parser.add_argument("--json-dir", default=".",
+                        help="directory for BENCH_batch_search.json "
+                             "(default: current directory)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing the trajectory file")
     args = parser.parse_args(argv)
     return run_batch_demo(args.size, args.tau, args.queries, args.batch,
-                          args.distinct)
+                          args.distinct,
+                          json_dir=None if args.no_json else args.json_dir)
 
 
 if __name__ == "__main__":

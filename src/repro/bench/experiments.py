@@ -17,8 +17,11 @@ function                         paper content
 :func:`fig16_scalability`          Figure 16 — join time vs collection size
 ==============================  ============================================
 
-plus two ablations that back design choices discussed in DESIGN.md
-(:func:`ablation_partition_strategies`, :func:`ablation_verifier_kernels`).
+plus ablations that back design choices discussed in DESIGN.md
+(:func:`ablation_partition_strategies`, :func:`ablation_verifier_kernels`,
+:func:`ablation_filter_quality`) and the tracked kernel benchmark
+:func:`verification_kernels` (batched vs per-pair bit-parallel
+verification, the source of ``BENCH_verification.json``).
 
 Dataset sizes default to a few hundred–few thousand strings (the paper uses
 460k–860k; a pure-Python reproduction keeps the workload *shape* but scales
@@ -733,6 +736,7 @@ def ablation_verifier_kernels(scale: float = 1.0, name: str = "querylog",
     )
     strings = build_datasets(scale, [name])[name]
     for method in (VerificationMethod.LENGTH_AWARE, VerificationMethod.MYERS,
+                   VerificationMethod.MYERS_BATCH,
                    VerificationMethod.SHARE_PREFIX):
         config = JoinConfig(verification=method)
         result = PassJoin(tau, config).self_join(strings)
@@ -740,6 +744,70 @@ def ablation_verifier_kernels(scale: float = 1.0, name: str = "querylog",
                       verification_seconds=round(
                           result.statistics.verification_seconds, 6),
                       results=len(result))
+    return table
+
+
+def verification_kernels(scale: float = 1.0, name: str = "author",
+                         tau: int = 3, repeats: int = 3) -> ExperimentTable:
+    """Batched vs per-pair verification kernels on the Figure 14 workload.
+
+    One verification-dominated Figure 14 configuration is joined with the
+    paper's length-aware kernel (the correctness oracle), the per-pair
+    bit-parallel Myers kernel (the speedup baseline) and the batched Myers
+    kernel.  Every method's ``(left_id, right_id, distance)`` triple set is
+    asserted equal to the oracle's — a fast-but-wrong kernel must fail the
+    experiment, not win it.  ``verification_seconds`` is the best of
+    ``repeats`` runs (the standard guard against scheduler noise on the
+    1-CPU CI box) and ``speedup_vs_myers`` divides the per-pair Myers time
+    by the method's own.
+    """
+    table = ExperimentTable(
+        key="verification-kernels",
+        title="Verification kernels: batched vs per-pair (Figure 14 config)",
+        columns=["dataset", "tau", "method", "verification_seconds",
+                 "matrix_cells", "verifications", "speedup_vs_myers",
+                 "results"],
+        notes="result triple-sets asserted identical across kernels; "
+              "speedup_vs_myers = per-pair Myers verification_seconds over "
+              "the method's own (best of %d runs); " % repeats + _SCALE_NOTE,
+    )
+    strings = build_datasets(scale, [name])[name]
+    methods = (VerificationMethod.LENGTH_AWARE, VerificationMethod.MYERS,
+               VerificationMethod.MYERS_BATCH)
+
+    measurements: dict[VerificationMethod, tuple[float, object]] = {}
+    oracle_pairs: set[tuple[int, int, int]] | None = None
+    for method in methods:
+        config = JoinConfig(selection=SelectionMethod.MULTI_MATCH,
+                            verification=method)
+        best_seconds = float("inf")
+        best_stats = None
+        for _ in range(max(1, repeats)):
+            result = PassJoin(tau, config).self_join(strings)
+            pairs = {(pair.left_id, pair.right_id, pair.distance)
+                     for pair in result.pairs}
+            if oracle_pairs is None:
+                oracle_pairs = pairs
+            elif pairs != oracle_pairs:
+                raise AssertionError(
+                    f"{method.value} result set diverged from "
+                    f"{methods[0].value}: {len(pairs)} vs "
+                    f"{len(oracle_pairs)} pairs")
+            if result.statistics.verification_seconds < best_seconds:
+                best_seconds = result.statistics.verification_seconds
+                best_stats = result.statistics
+        measurements[method] = (best_seconds, best_stats)
+
+    myers_seconds = measurements[VerificationMethod.MYERS][0]
+    for method in methods:
+        seconds, stats = measurements[method]
+        table.add_row(dataset=name, tau=tau, method=method.value,
+                      verification_seconds=round(seconds, 6),
+                      matrix_cells=stats.num_matrix_cells,
+                      verifications=stats.num_verifications,
+                      speedup_vs_myers=round(myers_seconds / max(seconds, 1e-9),
+                                             2),
+                      results=len(oracle_pairs))
     return table
 
 
@@ -789,5 +857,6 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "resharding-throughput": resharding_throughput,
     "ablation-partition": ablation_partition_strategies,
     "ablation-verifier": ablation_verifier_kernels,
+    "verification-kernels": verification_kernels,
     "ablation-filter-quality": ablation_filter_quality,
 }

@@ -41,11 +41,20 @@ class ExperimentTable:
     notes: str = ""
 
     def add_row(self, **values: Any) -> None:
-        """Append a row, checking that every declared column is present."""
+        """Append a row, checking it carries exactly the declared columns.
+
+        Undeclared keys are rejected, not silently stored: a typo'd column
+        name would otherwise survive every run and only surface as a hole
+        in the rendered report (or worse, not at all).
+        """
         missing = [column for column in self.columns if column not in values]
         if missing:
             raise ExperimentError(
                 f"experiment {self.key}: row is missing columns {missing}")
+        unknown = [key for key in values if key not in self.columns]
+        if unknown:
+            raise ExperimentError(
+                f"experiment {self.key}: row has undeclared columns {unknown}")
         self.rows.append(values)
 
     def column(self, name: str) -> list[Any]:

@@ -55,6 +55,11 @@ class VerificationMethod(str, Enum):
     ``MYERS``
         Bit-parallel Myers verifier (an extension beyond the paper, used by
         the verifier-kernel ablation benchmark).
+    ``MYERS_BATCH``
+        Batched bit-parallel verifier (library extension): one probe's
+        character masks are built once and swept across the whole inverted
+        list / batch group with Hyyrö's bounded cutoff, instead of
+        re-encoding the pattern per candidate pair.
     """
 
     BANDED = "banded"
@@ -62,6 +67,7 @@ class VerificationMethod(str, Enum):
     EXTENSION = "extension"
     SHARE_PREFIX = "share-prefix"
     MYERS = "myers"
+    MYERS_BATCH = "myers-batch"
 
 
 class PartitionStrategy(str, Enum):

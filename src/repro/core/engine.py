@@ -20,9 +20,11 @@ position ``p`` accepts only partners at positions ``< p``, which yields
 exactly the serial result set with no cross-chunk deduplication.
 
 Candidate filtering runs on the columnar postings directly — record ids are
-read straight from the :class:`~repro.core.store.RecordStore` columns and a
-:class:`~repro.types.StringRecord` is only materialised for candidates that
-reach the verifier.
+read straight from the :class:`~repro.core.store.RecordStore` id column and
+surviving row ordinals are handed to the verifier's ``verify_rows`` entry
+point, so a :class:`~repro.types.StringRecord` is only materialised for
+candidates the verifier actually touches (and, for the batched Myers
+verifier, only for candidates it *accepts*).
 
 :func:`probe_many` is the batch-probe executor on top of the same pipeline:
 a whole batch of ``(query, tau)`` lookups is answered in one pass, with
@@ -132,9 +134,11 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
             if not postings:
                 continue
             store = postings.store
-            candidates = []
+            store_ids = store.ids
+            rows: list[int] = []
+            row_ids: list[int] = []
             for row in postings.ordinals:
-                record_id = store.id_at(row)
+                record_id = store_ids[row]
                 if record_id == probe_id and not allow_same_id:
                     continue
                 if accept is not None and not accept(record_id):
@@ -143,19 +147,20 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
                     continue
                 if skip_rechecks and record_id in checked:
                     continue
-                candidates.append(store.record_at(row))
-            if not candidates:
+                rows.append(row)
+                row_ids.append(record_id)
+            if not rows:
                 continue
-            stats.num_candidates += len(candidates)
+            stats.num_candidates += len(rows)
             context = MatchContext(ordinal=selection.ordinal,
                                    probe_start=selection.start,
                                    seg_start=selection.seg_start,
                                    seg_length=selection.seg_length)
             verification_started = time.perf_counter()
-            accepted = verifier.verify_candidates(probe.text, candidates, context)
+            accepted = verifier.verify_rows(probe.text, store, rows, context)
             stats.verification_seconds += time.perf_counter() - verification_started
             if skip_rechecks:
-                checked.update(record.id for record in candidates)
+                checked.update(row_ids)
             for record, distance in accepted:
                 if record.id not in found:
                     found[record.id] = distance
@@ -263,31 +268,33 @@ def probe_many(queries: Sequence[tuple[str, int]], *, index: SegmentIndex,
                         if not postings:
                             continue
                         store = postings.store
-                        candidates = []
+                        store_ids = store.ids
+                        rows = []
+                        row_ids = []
                         for row in postings.ordinals:
-                            record_id = store.id_at(row)
+                            record_id = store_ids[row]
                             if accept is not None and not accept(record_id):
                                 continue
                             if record_id in found:
                                 continue
                             if checked is not None and record_id in checked:
                                 continue
-                            candidates.append(store.record_at(row))
-                        if not candidates:
+                            rows.append(row)
+                            row_ids.append(record_id)
+                        if not rows:
                             continue
-                        stats.num_candidates += len(candidates)
+                        stats.num_candidates += len(rows)
                         context = MatchContext(ordinal=window.ordinal,
                                                probe_start=start,
                                                seg_start=window.seg_start,
                                                seg_length=seg_length)
                         verification_started = time.perf_counter()
-                        accepted = verifier.verify_candidates(
-                            text, candidates, context)
+                        accepted = verifier.verify_rows(
+                            text, store, rows, context)
                         stats.verification_seconds += (
                             time.perf_counter() - verification_started)
                         if checked is not None:
-                            checked.update(
-                                record.id for record in candidates)
+                            checked.update(row_ids)
                         for record, distance in accepted:
                             if record.id not in found:
                                 found[record.id] = distance

@@ -144,6 +144,24 @@ class RecordStore:
         """The ``(text, id)`` ordering key of a row (sorted-posting invariant)."""
         return (self._texts[row], self._ids[row])
 
+    @property
+    def ids(self) -> "array[int]":
+        """The id column itself, for hot loops that index it directly.
+
+        Treat as read-only: mutating it bypasses interning and refcounts.
+        """
+        return self._ids
+
+    @property
+    def lengths(self) -> "array[int]":
+        """The length column itself (read-only; see :attr:`ids`)."""
+        return self._lengths
+
+    @property
+    def texts(self) -> list[str]:
+        """The text column itself (read-only; see :attr:`ids`)."""
+        return self._texts
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------

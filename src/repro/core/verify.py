@@ -6,8 +6,8 @@ describing where the match occurred (segment ordinal, segment position and
 length, substring position in the probe).  It returns the records whose edit
 distance to the probe is within ``τ``, together with the exact distance.
 
-Five strategies are provided, matching the Figure 14 ablation plus one
-extension:
+Six strategies are provided, matching the Figure 14 ablation plus two
+extensions:
 
 ``BandedVerifier``
     Banded dynamic programming over the whole strings (``2τ+1`` cells per
@@ -24,6 +24,20 @@ extension:
     consecutive inverted-list entries sharing a prefix (Section 5.3).
 ``MyersVerifier``
     Bit-parallel kernel over the whole strings (library extension).
+``BatchMyersVerifier``
+    Batched bit-parallel kernel (library extension): the probe's character
+    masks are built once and swept across every candidate of the inverted
+    list / batch group with Hyyrö's bounded cutoff — see
+    :mod:`repro.distance.myers_batch`.
+
+Verifiers offer two entry points.  :meth:`BaseVerifier.verify_candidates`
+takes materialised :class:`~repro.types.StringRecord` candidates (the
+historical interface, still used by tests and external callers).
+:meth:`BaseVerifier.verify_rows` takes a
+:class:`~repro.core.store.RecordStore` plus row ordinals and is what the
+probe engine calls: the default implementation bridges to
+``verify_candidates``, while batched strategies override it to read the
+text column directly and only materialise the records they accept.
 
 All strategies are *correct* (no false positives, exact distances reported)
 and, in combination with any complete selection method, *complete*: a pair
@@ -41,9 +55,11 @@ from typing import Sequence
 from ..config import VerificationMethod, validate_threshold
 from ..distance.banded import banded_edit_distance, length_aware_edit_distance
 from ..distance.myers import myers_edit_distance_within
+from ..distance.myers_batch import BatchMyersKernel
 from ..distance.shared_prefix import SharedPrefixVerifier
 from ..exceptions import UnknownMethodError
 from ..types import JoinStatistics, StringRecord
+from .store import RecordStore
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +101,20 @@ class BaseVerifier(ABC):
     def verify_candidates(self, probe: str, candidates: Sequence[StringRecord],
                           context: MatchContext) -> list[tuple[StringRecord, int]]:
         """Return ``(record, distance)`` for candidates within the threshold."""
+
+    def verify_rows(self, probe: str, store: RecordStore, rows: Sequence[int],
+                    context: MatchContext) -> list[tuple[StringRecord, int]]:
+        """Columnar entry point: verify store ``rows`` against ``probe``.
+
+        The probe engine filters candidate ordinals on the store's id
+        column and hands the surviving rows here.  The default bridges to
+        :meth:`verify_candidates` by materialising every row; batched
+        strategies override it to read the text column directly and only
+        materialise the records they accept.
+        """
+        record_at = store.record_at
+        return self.verify_candidates(
+            probe, [record_at(row) for row in rows], context)
 
     # ------------------------------------------------------------------
     def _exact_distance(self, probe: str, text: str) -> int:
@@ -139,6 +169,66 @@ class MyersVerifier(BaseVerifier):
             if distance <= self.tau:
                 accepted.append((record, distance))
         return accepted
+
+
+class BatchMyersVerifier(BaseVerifier):
+    """Batched bit-parallel verification (library extension).
+
+    The probe's character masks are encoded into a
+    :class:`~repro.distance.myers_batch.BatchMyersKernel` exactly once and
+    swept across every candidate handed in — across *all* inverted-list
+    probes of one ``probe_record`` call, and across the whole ``(length,
+    tau)`` group of a ``probe_many`` batch, since the kernel is rebuilt
+    only when the probe string actually changes.  Each sweep terminates as
+    soon as the running score can no longer come back under ``tau``
+    (Hyyrö's bounded cutoff).  Results are element-identical to
+    :class:`MyersVerifier` and :class:`LengthAwareVerifier`.
+    """
+
+    method = VerificationMethod.MYERS_BATCH
+
+    def __init__(self, tau: int, stats: JoinStatistics | None = None) -> None:
+        super().__init__(tau, stats)
+        self._probe: str | None = None
+        self._kernel: BatchMyersKernel | None = None
+        #: Number of times the pattern masks were (re)built — the work the
+        #: batching amortises; tests assert it stays at one per probe.
+        self.masks_built = 0
+
+    def _kernel_for(self, probe: str) -> BatchMyersKernel:
+        if probe != self._probe or self._kernel is None:
+            self._kernel = BatchMyersKernel(probe)
+            self._probe = probe
+            self.masks_built += 1
+        return self._kernel
+
+    def verify_candidates(self, probe: str, candidates: Sequence[StringRecord],
+                          context: MatchContext) -> list[tuple[StringRecord, int]]:
+        if not candidates:
+            return []
+        kernel = self._kernel_for(probe)
+        tau = self.tau
+        self.stats.num_verifications += len(candidates)
+        distances = kernel.distances_within(
+            [record.text for record in candidates], tau, self.stats)
+        return [(record, distance)
+                for record, distance in zip(candidates, distances)
+                if distance <= tau]
+
+    def verify_rows(self, probe: str, store: RecordStore, rows: Sequence[int],
+                    context: MatchContext) -> list[tuple[StringRecord, int]]:
+        if not rows:
+            return []
+        kernel = self._kernel_for(probe)
+        tau = self.tau
+        self.stats.num_verifications += len(rows)
+        texts = store.texts
+        distances = kernel.distances_within(
+            [texts[row] for row in rows], tau, self.stats)
+        record_at = store.record_at
+        return [(record_at(row), distance)
+                for row, distance in zip(rows, distances)
+                if distance <= tau]
 
 
 def _split_parts(text: str, start: int, seg_length: int) -> tuple[str, str]:
@@ -208,7 +298,9 @@ class SharePrefixExtensionVerifier(BaseVerifier):
         tau = self.tau
         tau_left = min(context.ordinal - 1, tau)
         tau_right = tau + 1 - context.ordinal
-        if tau_right < 0:
+        # Bail out before building the SharedPrefixVerifier pair: empty
+        # inverted lists and out-of-range ordinals must do zero DP work.
+        if tau_right < 0 or not candidates:
             return []
         probe_left, probe_right = _split_parts(probe, context.probe_start,
                                                context.seg_length)
@@ -235,6 +327,7 @@ _VERIFIERS: dict[VerificationMethod, type[BaseVerifier]] = {
     VerificationMethod.EXTENSION: ExtensionVerifier,
     VerificationMethod.SHARE_PREFIX: SharePrefixExtensionVerifier,
     VerificationMethod.MYERS: MyersVerifier,
+    VerificationMethod.MYERS_BATCH: BatchMyersVerifier,
 }
 
 

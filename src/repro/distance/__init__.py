@@ -14,6 +14,9 @@ The package offers several kernels with different cost/feature trade-offs:
   across common prefixes (Section 5.3).
 * :func:`repro.distance.myers.myers_edit_distance` — bit-parallel kernel
   (an extension beyond the paper, used by the verifier ablation).
+* :class:`repro.distance.myers_batch.BatchMyersKernel` — the batched
+  bit-parallel kernel: one probe's character masks built once and swept
+  across a whole candidate list with Hyyrö's bounded cutoff.
 
 Bounded kernels follow the paper's convention for ``VerifyStringPair``:
 they return ``min(ed(a, b), τ + 1)``, i.e. any value larger than ``τ``
@@ -23,6 +26,7 @@ means "not similar" without telling you by how much.
 from .banded import banded_edit_distance, length_aware_edit_distance
 from .levenshtein import edit_distance, edit_distance_unit_cost_matrix
 from .myers import myers_edit_distance, myers_edit_distance_within
+from .myers_batch import BatchMyersKernel
 from .shared_prefix import SharedPrefixVerifier
 
 __all__ = [
@@ -32,5 +36,6 @@ __all__ = [
     "length_aware_edit_distance",
     "myers_edit_distance",
     "myers_edit_distance_within",
+    "BatchMyersKernel",
     "SharedPrefixVerifier",
 ]

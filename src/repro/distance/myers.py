@@ -68,11 +68,51 @@ def myers_edit_distance(a: str, b: str) -> int:
 def myers_edit_distance_within(a: str, b: str, tau: int) -> int:
     """Bounded variant returning ``min(ed(a, b), tau + 1)``.
 
-    The length filter short-circuits hopeless pairs; otherwise the exact
-    bit-parallel distance is computed and capped.
+    The length filter short-circuits hopeless pairs, and the sweep applies
+    the cutoff rule of Hyyrö's bounded variant: after consuming a text
+    character, ``score`` is the exact distance of the pattern against the
+    text prefix, and each remaining text character can lower it by at most
+    one — so as soon as ``score - remaining > tau`` the pair can never come
+    back under the threshold and the sweep stops.
     """
     tau = validate_threshold(tau)
     if abs(len(a) - len(b)) > tau:
         return tau + 1
-    distance = myers_edit_distance(a, b)
-    return distance if distance <= tau else tau + 1
+    if a == b:
+        return 0
+    # Use the shorter string as the pattern so the bit masks stay small.
+    if len(a) > len(b):
+        a, b = b, a
+    if not a:
+        # The length filter already guaranteed len(b) <= tau here.
+        return len(b)
+
+    masks = _pattern_masks(a)
+    m = len(a)
+    all_ones = (1 << m) - 1
+    high_bit = 1 << (m - 1)
+
+    positive_vertical = all_ones
+    negative_vertical = 0
+    score = m
+    remaining = len(b)
+
+    for character in b:
+        remaining -= 1
+        match = masks.get(character, 0)
+        diagonal_zero = (((match & positive_vertical) + positive_vertical)
+                         ^ positive_vertical) | match | negative_vertical
+        horizontal_positive = negative_vertical | ~(diagonal_zero | positive_vertical)
+        horizontal_negative = positive_vertical & diagonal_zero
+        if horizontal_positive & high_bit:
+            score += 1
+        elif horizontal_negative & high_bit:
+            score -= 1
+        if score - remaining > tau:
+            return tau + 1
+        horizontal_positive = ((horizontal_positive << 1) | 1) & all_ones
+        horizontal_negative = (horizontal_negative << 1) & all_ones
+        positive_vertical = horizontal_negative | ~(diagonal_zero | horizontal_positive)
+        positive_vertical &= all_ones
+        negative_vertical = horizontal_positive & diagonal_zero
+    return score if score <= tau else tau + 1

@@ -1,0 +1,150 @@
+"""Batched bit-parallel verification kernel (Myers/Hyyrö, bounded).
+
+The per-pair entry point :func:`repro.distance.myers.myers_edit_distance_within`
+rebuilds the pattern's character bit masks on every call.  That is wasted
+work in Pass-Join's verification phase, where one probe string is verified
+against *every* candidate of an inverted list (and, in the batch executor,
+against every candidate of a whole ``(length, tau)`` query group):
+the pattern — the probe — is the same each time.
+
+:class:`BatchMyersKernel` hoists the pattern encoding out of the loop: the
+masks, the word width, and the high bit are computed once per probe, and
+:meth:`BatchMyersKernel.distances_within` then sweeps them across a whole
+candidate list with the column update inlined.  Each sweep uses the cutoff
+rule of Hyyrö's bounded variant: after consuming a text character,
+``score`` is the exact edit distance of the pattern against the text prefix
+consumed so far, and every remaining text character can lower the final
+score by at most one — so the sweep terminates as soon as
+``score - remaining > tau``.
+
+As everywhere else in the library, "bounded" means the kernel returns
+``min(ed(pattern, text), tau + 1)``: any value above ``tau`` reads as "not
+similar" without saying by how much.  Python integers are arbitrary
+precision, so one "word" covers patterns of any length.
+
+The optional ``stats`` argument is duck-typed like the banded kernels': any
+object with integer ``num_matrix_cells`` / ``num_early_terminations``
+attributes (e.g. :class:`repro.types.JoinStatistics`) is incremented in
+place.  One processed text character updates a whole DP column of the
+pattern in O(1) word operations, so the cell counter advances by the
+pattern length per character — the work the bit-parallel word replaces,
+directly comparable with the DP kernels' counters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import validate_threshold
+
+
+def build_pattern_masks(pattern: str) -> dict[str, int]:
+    """Per-character position bit masks of ``pattern`` (bit ``i`` = position ``i``)."""
+    masks: dict[str, int] = {}
+    for position, character in enumerate(pattern):
+        masks[character] = masks.get(character, 0) | (1 << position)
+    return masks
+
+
+class BatchMyersKernel:
+    """One pattern's bit-parallel state, swept across many candidate texts.
+
+    Parameters
+    ----------
+    pattern:
+        The fixed string (in Pass-Join verification: the probe).  Its
+        character masks are built exactly once, here.
+
+    Examples
+    --------
+    >>> kernel = BatchMyersKernel("kitten")
+    >>> kernel.distance_within("sitting", tau=3)
+    3
+    >>> kernel.distances_within(["kitten", "mitten", "kitchen"], tau=2)
+    [0, 1, 2]
+    """
+
+    __slots__ = ("pattern", "length", "masks", "_all_ones", "_high_bit")
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.length = len(pattern)
+        self.masks = build_pattern_masks(pattern)
+        self._all_ones = (1 << self.length) - 1
+        self._high_bit = 1 << (self.length - 1) if self.length else 0
+
+    def distance_within(self, text: str, tau: int, stats=None) -> int:
+        """Return ``min(ed(pattern, text), tau + 1)`` for one candidate."""
+        results = self.distances_within((text,), tau, stats)
+        return results[0]
+
+    def distances_within(self, texts: Sequence[str], tau: int,
+                         stats=None) -> list[int]:
+        """Bounded distances of the pattern against every text, in order.
+
+        The hot batched path: one call verifies a whole inverted list (or
+        batch group), with the per-character column update inlined in the
+        loop and the pattern masks shared by every sweep.
+        """
+        tau = validate_threshold(tau)
+        m = self.length
+        over = tau + 1
+        masks_get = self.masks.get
+        all_ones = self._all_ones
+        high_bit = self._high_bit
+        pattern = self.pattern
+        results: list[int] = []
+        append = results.append
+        cells = 0
+        early = 0
+
+        for text in texts:
+            n = len(text)
+            if m - n > tau or n - m > tau:
+                append(over)
+                continue
+            if text == pattern:
+                append(0)
+                continue
+            if m == 0:
+                # 0 < n <= tau here (the length filter passed, text != "").
+                append(n)
+                continue
+
+            positive_vertical = all_ones
+            negative_vertical = 0
+            score = m
+            remaining = n
+            for character in text:
+                remaining -= 1
+                match = masks_get(character, 0)
+                diagonal_zero = (((match & positive_vertical) + positive_vertical)
+                                 ^ positive_vertical) | match | negative_vertical
+                horizontal_positive = (negative_vertical
+                                       | ~(diagonal_zero | positive_vertical))
+                horizontal_negative = positive_vertical & diagonal_zero
+                if horizontal_positive & high_bit:
+                    score += 1
+                elif horizontal_negative & high_bit:
+                    score -= 1
+                if score - remaining > tau:
+                    score = over
+                    early += 1
+                    break
+                horizontal_positive = ((horizontal_positive << 1) | 1) & all_ones
+                horizontal_negative = (horizontal_negative << 1) & all_ones
+                positive_vertical = (horizontal_negative
+                                     | ~(diagonal_zero | horizontal_positive))
+                positive_vertical &= all_ones
+                negative_vertical = horizontal_positive & diagonal_zero
+            cells += m * (n - remaining)
+            append(score if score <= tau else over)
+
+        if stats is not None:
+            stats.num_matrix_cells += cells
+            if early:
+                stats.num_early_terminations += early
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchMyersKernel(pattern={self.pattern!r})"

@@ -4,8 +4,9 @@
 partition scheme for a maximum threshold ``max_tau``.  A query string ``q``
 with a per-query threshold ``tau ≤ max_tau`` is answered by probing the
 segment indices of every length in ``[|q| − tau, |q| + tau]`` with the
-multi-match-aware substring selection and verifying candidates with the
-extension-based verifier.
+multi-match-aware substring selection and a pluggable verification kernel
+(the extension-based verifier by default; see
+:class:`~repro.config.VerificationMethod` for the alternatives).
 
 Why a query threshold below the index threshold stays correct: the index
 partitions every string into ``max_tau + 1`` segments.  If
@@ -25,12 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from ..config import PartitionStrategy, validate_threshold
+from ..config import PartitionStrategy, VerificationMethod, validate_threshold
 from ..core.engine import probe_many, probe_record
 from ..core.index import SegmentIndex
 from ..core.partition import can_partition
 from ..core.selection import MultiMatchAwareSelector
-from ..core.verify import ExtensionVerifier
+from ..core.verify import make_verifier
 from ..exceptions import InvalidThresholdError
 from ..types import JoinStatistics, StringRecord, as_records
 
@@ -134,6 +135,11 @@ class PassJoinSearcher:
         individual queries slightly slower, but allow looser searches.
     partition:
         Partition strategy (the paper's even scheme by default).
+    verification:
+        Verification kernel used to check candidates (a
+        :class:`~repro.config.VerificationMethod` or its string name).
+        Defaults to the extension verifier; ``"myers-batch"`` pays off on
+        verification-heavy workloads with long shared inverted lists.
 
     Examples
     --------
@@ -143,8 +149,13 @@ class PassJoinSearcher:
     """
 
     def __init__(self, strings: Iterable[str | StringRecord], max_tau: int,
-                 partition: PartitionStrategy = PartitionStrategy.EVEN) -> None:
+                 partition: PartitionStrategy = PartitionStrategy.EVEN,
+                 verification: VerificationMethod | str =
+                 VerificationMethod.EXTENSION) -> None:
         self.max_tau = validate_threshold(max_tau)
+        self.verification = (verification
+                            if isinstance(verification, VerificationMethod)
+                            else VerificationMethod(str(verification)))
         self.statistics = JoinStatistics()
         self._records = as_records(strings)
         self.statistics.num_strings = len(self._records)
@@ -180,7 +191,7 @@ class PassJoinSearcher:
         if tau > self.max_tau:
             raise InvalidThresholdError(tau)
         stats = self.statistics
-        verifier = ExtensionVerifier(tau, stats)
+        verifier = make_verifier(self.verification, tau, stats)
         probe = StringRecord(id=-1, text=query)
         matches = probe_record(
             probe, tau=tau, index=self._index, short_pool=self._short_pool,
@@ -210,8 +221,8 @@ class PassJoinSearcher:
         raw = probe_many(
             list(zip(queries, taus)), index=self._index,
             short_pool=self._short_pool, selector=self._selector,
-            verifier_factory=lambda group_tau: ExtensionVerifier(group_tau,
-                                                                 stats),
+            verifier_factory=lambda group_tau: make_verifier(
+                self.verification, group_tau, stats),
             stats=stats)
         return wrap_batch_matches(raw, stats)
 

@@ -103,6 +103,17 @@ class TestAblations:
     def test_verifier_ablation_results_agree(self):
         table = experiments.ablation_verifier_kernels(scale=SMALL, tau=5)
         assert len({row["results"] for row in table.rows}) == 1
+        assert "myers-batch" in {row["method"] for row in table.rows}
+
+    def test_verification_kernels_rows_and_speedups(self):
+        table = experiments.verification_kernels(scale=SMALL, tau=2, repeats=1)
+        rows = {row["method"]: row for row in table.rows}
+        assert set(rows) == {"length-aware", "myers", "myers-batch"}
+        # The experiment raises internally if any kernel's triple set
+        # diverges; the visible column must agree too.
+        assert len({row["results"] for row in rows.values()}) == 1
+        assert rows["myers"]["speedup_vs_myers"] == 1
+        assert all(row["speedup_vs_myers"] > 0 for row in rows.values())
 
     def test_filter_quality_pass_join_beats_naive(self):
         table = experiments.ablation_filter_quality(scale=SMALL, tau=2)
@@ -113,7 +124,7 @@ class TestAblations:
 
     def test_experiment_registry_is_complete(self):
         assert {"table2", "table3", "figure11", "figure12", "figure13",
-                "figure14", "figure15", "figure16",
+                "figure14", "figure15", "figure16", "verification-kernels",
                 "resharding-throughput"} <= set(experiments.EXPERIMENTS)
 
 

@@ -153,7 +153,8 @@ class TestEnums:
 
     def test_verification_method_values(self):
         assert {m.value for m in VerificationMethod} == {
-            "banded", "length-aware", "extension", "share-prefix", "myers"}
+            "banded", "length-aware", "extension", "share-prefix", "myers",
+            "myers-batch"}
 
     def test_partition_strategy_values(self):
         assert {m.value for m in PartitionStrategy} == {

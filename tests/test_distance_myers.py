@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.distance.banded import length_aware_edit_distance
 from repro.distance.levenshtein import edit_distance
 from repro.distance.myers import myers_edit_distance, myers_edit_distance_within
 from repro.exceptions import InvalidThresholdError
@@ -54,3 +55,27 @@ class TestMyersBounded:
     def test_invalid_threshold(self):
         with pytest.raises(InvalidThresholdError):
             myers_edit_distance_within("a", "b", -2)
+
+    def test_matches_length_aware_on_random_pairs(self):
+        """Regression for the bounded sweep's cutoff.
+
+        The kernel used to compute the unbounded distance and cap the
+        result afterwards; with the cutoff it abandons the sweep as soon
+        as ``score - remaining > tau``.  Either way it must agree with the
+        length-aware DP oracle on every pair — in particular on pairs far
+        over the threshold, where the cutoff actually fires.
+        """
+        rng = random.Random(5)
+        for _ in range(300):
+            a = "".join(rng.choice("abc") for _ in range(rng.randint(0, 16)))
+            b = "".join(rng.choice("abc") for _ in range(rng.randint(0, 16)))
+            for tau in (0, 1, 2, 3):
+                assert (myers_edit_distance_within(a, b, tau)
+                        == length_aware_edit_distance(a, b, tau)), (a, b, tau)
+
+    def test_capped_result_never_exceeds_tau_plus_one(self):
+        rng = random.Random(6)
+        for _ in range(100):
+            a = "".join(rng.choice("ab") for _ in range(12))
+            b = "".join(rng.choice("cd") for _ in range(12))
+            assert myers_edit_distance_within(a, b, 3) == 4

@@ -67,6 +67,19 @@ class TestBasicSearch:
         searcher.search("abcdefgh", tau=2)
         assert searcher.statistics.num_index_probes > before
 
+    def test_verification_kernel_is_pluggable(self):
+        """Every verification kernel must answer searches identically."""
+        strings = random_strings(120, 4, 14, alphabet="abc", seed=9)
+        queries = random_strings(15, 4, 14, alphabet="abc", seed=10)
+        baseline = PassJoinSearcher(strings, max_tau=2)
+        expected_each = [baseline.search(query, tau=2) for query in queries]
+        expected_batch = baseline.search_many(queries, tau=2)
+        for kernel in ("length-aware", "myers", "myers-batch"):
+            searcher = PassJoinSearcher(strings, max_tau=2,
+                                        verification=kernel)
+            assert [searcher.search(q, tau=2) for q in queries] == expected_each
+            assert searcher.search_many(queries, tau=2) == expected_batch
+
 
 class TestTopKSearch:
     def test_returns_k_closest(self):

@@ -4,8 +4,9 @@ import pytest
 
 from repro.config import VerificationMethod
 from repro.core.partition import partition, segment_layout
-from repro.core.verify import (BandedVerifier, ExtensionVerifier,
-                               LengthAwareVerifier, MatchContext, MyersVerifier,
+from repro.core.verify import (BandedVerifier, BatchMyersVerifier,
+                               ExtensionVerifier, LengthAwareVerifier,
+                               MatchContext, MyersVerifier,
                                SharePrefixExtensionVerifier, make_verifier)
 from repro.distance import edit_distance
 from repro.exceptions import UnknownMethodError
@@ -31,6 +32,7 @@ class TestMakeVerifier:
         assert isinstance(make_verifier("extension", 2), ExtensionVerifier)
         assert isinstance(make_verifier("share-prefix", 2), SharePrefixExtensionVerifier)
         assert isinstance(make_verifier(VerificationMethod.MYERS, 2), MyersVerifier)
+        assert isinstance(make_verifier("myers-batch", 2), BatchMyersVerifier)
 
     def test_factory_unknown_method(self):
         with pytest.raises(UnknownMethodError):
@@ -40,6 +42,7 @@ class TestMakeVerifier:
         assert make_verifier("banded", 1).exact_per_pair
         assert make_verifier("length-aware", 1).exact_per_pair
         assert make_verifier("myers", 1).exact_per_pair
+        assert make_verifier("myers-batch", 1).exact_per_pair
         assert not make_verifier("extension", 1).exact_per_pair
         assert not make_verifier("share-prefix", 1).exact_per_pair
 
@@ -186,3 +189,33 @@ class TestSharePrefixSpecifics:
         ExtensionVerifier(tau, plain_stats).verify_candidates(
             probe, candidates, context)
         assert shared_stats.num_matrix_cells < plain_stats.num_matrix_cells
+
+    def test_empty_candidate_list_builds_no_prefix_verifiers(self, monkeypatch):
+        """Regression: the left/right SharedPrefixVerifier pair used to be
+        constructed before the empty-list check, charging every empty
+        inverted list the setup cost for zero verifications."""
+        import repro.core.verify as verify_module
+
+        constructed = []
+        original = verify_module.SharedPrefixVerifier
+
+        def counting(*args, **kwargs):
+            constructed.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(verify_module, "SharedPrefixVerifier", counting)
+        tau = 2
+        context = MatchContext(ordinal=1, probe_start=0, seg_start=0,
+                               seg_length=2)
+        stats = JoinStatistics()
+        verifier = SharePrefixExtensionVerifier(tau, stats)
+        assert verifier.verify_candidates("abcdef", [], context) == []
+        # Out-of-range ordinal (tau_right < 0) with a non-empty list must
+        # bail out just as cheaply.
+        far_context = MatchContext(ordinal=tau + 2, probe_start=0,
+                                   seg_start=0, seg_length=2)
+        assert verifier.verify_candidates(
+            "abcdef", [StringRecord(id=0, text="abcdef")], far_context) == []
+        assert constructed == []
+        assert stats.num_matrix_cells == 0
+        assert stats.num_verifications == 0
