@@ -17,7 +17,12 @@ entry points:
           --size 2000 --tau 2 --queries 512 --batch 64
 
   exits non-zero if any bar is missed, and appends the measurements to the
-  ``BENCH_batch_search.json`` trajectory (``--no-json`` to skip).
+  ``BENCH_batch_search.json`` trajectory (``--no-json`` to skip).  Script
+  mode also measures the cost of recording per-request metrics (counter +
+  latency histogram into a :class:`~repro.obs.metrics.MetricsRegistry`)
+  around every search — it must stay under 5% — and embeds the engine's
+  filter-funnel counters in the trajectory so candidate-count regressions
+  are tracked alongside speedups.
 """
 
 from __future__ import annotations
@@ -32,11 +37,84 @@ except ImportError:  # pragma: no cover - script mode
 
 from repro.bench.experiments import batch_search
 from repro.bench.reporting import (append_bench_run, bench_run_payload,
-                                   bench_trajectory_path, format_table)
+                                   bench_trajectory_path, format_table,
+                                   funnel_metrics)
 
 #: Acceptance bar: batched must reach this multiple of sequential qps on
 #: the 64-query / 10%-distinct workload.
 SPEEDUP_TARGET = 1.3
+#: Acceptance bar: recording per-request metrics (counter + latency
+#: histogram observation around every search) must cost < this percent.
+METRICS_OVERHEAD_LIMIT_PCT = 5.0
+
+
+def measure_metrics_overhead(size: int, tau: int, queries: int,
+                             distinct_fraction: float, seed: int = 7,
+                             repeats: int = 3) -> dict:
+    """Wall time of the query loop plain vs with per-request metrics.
+
+    Runs the same repeated-query workload twice per repeat against one
+    searcher: once bare, once recording what the service's hot path
+    records per request — a ``requests.search`` counter increment and a
+    latency-histogram observation into a
+    :class:`~repro.obs.metrics.MetricsRegistry` (the engine's funnel
+    counters are unconditionally on in both runs, so the delta isolates
+    the registry).  Both sides take the best of ``repeats`` runs, the
+    standard guard against scheduler noise on the 1-CPU CI box.  Returns
+    the timings, the overhead percentage, and the searcher's filter-funnel
+    counters so the trajectory can track candidate-count regressions too.
+    """
+    import random
+    import time
+
+    from repro.bench.experiments import DEFAULT_SIZES, build_datasets
+    from repro.datasets.corruption import apply_random_edits
+    from repro.obs.metrics import MetricsRegistry
+    from repro.search.searcher import PassJoinSearcher
+
+    scale = size / DEFAULT_SIZES["author"]
+    strings = build_datasets(scale, ["author"])["author"]
+    rng = random.Random(seed)
+    distinct = max(1, min(queries, int(queries * distinct_fraction)))
+    pool = [apply_random_edits(rng.choice(strings), rng.randint(0, tau), rng)
+            for _ in range(distinct)]
+    workload = [rng.choice(pool) for _ in range(queries)]
+    searcher = PassJoinSearcher(strings, max_tau=tau)
+
+    # One untimed pass so neither side pays first-run warm-up costs
+    # (allocator growth, branch warm-up) — without it the plain loop,
+    # which runs first, absorbs them and the overhead reads negative.
+    for query in workload:
+        searcher.search(query, tau)
+
+    plain_seconds = float("inf")
+    recorded_seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        for query in workload:
+            searcher.search(query, tau)
+        plain_seconds = min(plain_seconds, time.perf_counter() - started)
+
+        registry = MetricsRegistry()
+        started = time.perf_counter()
+        for query in workload:
+            began = time.perf_counter()
+            searcher.search(query, tau)
+            registry.inc("requests.search")
+            registry.observe("latency_seconds.search",
+                             time.perf_counter() - began)
+        recorded_seconds = min(recorded_seconds,
+                               time.perf_counter() - started)
+
+    overhead_pct = ((recorded_seconds - plain_seconds)
+                    / max(plain_seconds, 1e-9) * 100.0)
+    return {
+        "plain_seconds": round(plain_seconds, 6),
+        "recorded_seconds": round(recorded_seconds, 6),
+        "metrics_overhead_pct": round(overhead_pct, 3),
+        "metrics_overhead_limit_pct": METRICS_OVERHEAD_LIMIT_PCT,
+        "funnel": funnel_metrics(searcher.statistics),
+    }
 
 
 def _check_rows(table) -> tuple[dict, dict]:
@@ -87,6 +165,16 @@ def run_batch_demo(size: int, tau: int, queries: int, batch_size: int,
                          distinct_fraction=distinct_fraction, seed=seed)
     print(format_table(table))
     failures = _verify(table)
+    overhead = measure_metrics_overhead(size, tau, queries,
+                                        distinct_fraction, seed=seed)
+    print(f"metrics overhead: {overhead['metrics_overhead_pct']}% "
+          f"(plain {overhead['plain_seconds']}s, recorded "
+          f"{overhead['recorded_seconds']}s, limit "
+          f"< {METRICS_OVERHEAD_LIMIT_PCT}%)")
+    if overhead["metrics_overhead_pct"] >= METRICS_OVERHEAD_LIMIT_PCT:
+        failures.append(
+            f"per-request metrics cost {overhead['metrics_overhead_pct']}% "
+            f"(limit: < {METRICS_OVERHEAD_LIMIT_PCT}%)")
     if json_dir is not None:
         sequential, batch = _check_rows(table)
         metrics = {
@@ -103,6 +191,10 @@ def run_batch_demo(size: int, tau: int, queries: int, batch_size: int,
             "object_index_bytes": batch["object_index_bytes"],
             "passed": not failures,
         }
+        metrics.update(
+            {key: value for key, value in overhead.items()
+             if key != "funnel"})
+        metrics.update(overhead["funnel"])
         path = bench_trajectory_path(json_dir, "batch-search")
         document = append_bench_run(
             path, "batch-search", bench_run_payload(metrics, tables=[table]))

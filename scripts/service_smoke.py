@@ -11,6 +11,16 @@ with a live add-shard → query → remove-shard resize under load::
 
     PYTHONPATH=src python scripts/service_smoke.py
 
+After each pass it scrapes the ``metrics`` op and asserts the
+observability invariants: the engine's filter funnel only shrinks
+(accepted <= verifications <= candidates <= postings scanned), every
+per-op latency histogram counts exactly as many observations as the
+``requests.<op>`` counter, the Prometheus rendering parses as valid
+exposition text, and an ``explain`` trace reports the same number of
+accepted matches as the equivalent ``search``.  ``--metrics-out FILE``
+writes the scraped snapshots as JSON (what CI uploads next to the bench
+trajectories).
+
 Exits 0 when every assertion holds, 1 (with a traceback) otherwise.
 """
 
@@ -21,13 +31,64 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+import argparse  # noqa: E402
+import json  # noqa: E402
 import tempfile  # noqa: E402
 
 from repro.cli import main as cli_main  # noqa: E402
 from repro.config import ServiceConfig  # noqa: E402
+from repro.obs import parse_prometheus, render_prometheus  # noqa: E402
 from repro.service import BackgroundServer, ServiceClient  # noqa: E402
 
 STRINGS = ["vldb", "pvldb", "sigmod", "sigmmod", "icde", "edbt"]
+
+
+def metrics_smoke(client: ServiceClient,
+                  expect_shards: int | None = None) -> dict:
+    """Scrape ``metrics``/``explain`` and assert the funnel invariants."""
+    payload = client.metrics()
+    assert payload["uptime_seconds"] >= 0, payload
+    merged = payload["merged"]
+    counters = merged["counters"]
+
+    # The filter funnel can only shrink stage over stage, and the queries
+    # above found real matches, so the narrow end must be non-empty.
+    accepted = counters.get("engine_accepted", 0)
+    verified = counters.get("engine_verifications", 0)
+    candidates = counters.get("engine_candidates", 0)
+    postings = counters.get("engine_postings_scanned", 0)
+    assert 0 < accepted <= verified <= candidates <= postings, counters
+
+    # Every request was timed exactly once: each per-op latency histogram
+    # holds as many observations as its requests.<op> counter.
+    for name, value in sorted(counters.items()):
+        if not name.startswith("requests."):
+            continue
+        op = name[len("requests."):]
+        histogram = merged["histograms"].get(f"latency_seconds.{op}")
+        assert histogram is not None, (name, sorted(merged["histograms"]))
+        assert histogram["count"] == value, (name, value, histogram)
+
+    # The Prometheus rendering must parse as valid exposition text.
+    families = parse_prometheus(render_prometheus(merged))
+    assert families, "prometheus rendering produced no metric families"
+
+    if expect_shards is not None:
+        shards = payload["shards"]
+        assert shards["count"] == expect_shards, shards
+        assert len(shards["per_shard"]) == expect_shards, shards
+        fleet_candidates = sum(
+            snapshot["counters"].get("engine_candidates", 0)
+            for snapshot in shards["per_shard"])
+        assert fleet_candidates == counters.get("engine_candidates", 0), shards
+
+    # An explain trace is one more probe through the same funnel: its
+    # accepted count must equal the matches the equivalent search returns.
+    report = client.explain("vldb", tau=1)
+    matches = client.search("vldb", tau=1)
+    assert report["num_matches"] == len(matches), report
+    assert report["funnel"]["accepted"] == len(matches), report["funnel"]
+    return payload
 
 
 def batch_smoke(client: ServiceClient, host: str, port: int) -> None:
@@ -56,7 +117,7 @@ def batch_smoke(client: ServiceClient, host: str, port: int) -> None:
         Path(path).unlink()
 
 
-def sharded_smoke() -> None:
+def sharded_smoke() -> dict:
     """Start a 2-shard server; verify a cross-shard query and mutations.
 
     Pins the in-process thread backend: BackgroundServer hosts the service
@@ -119,8 +180,17 @@ def sharded_smoke() -> None:
             assert client.search("vldb", tau=1) == matches
             assert client.top_k("sigmod", 2) == top
 
+            # The fleet's funnel counters merge across both shards.
+            return metrics_smoke(client, expect_shards=2)
 
-def main() -> int:
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="serving-stack smoke test")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the scraped metrics snapshots (unsharded "
+                             "and 2-shard) to FILE as JSON")
+    args = parser.parse_args(argv)
+
     config = ServiceConfig(port=0, max_tau=2)
     with BackgroundServer(STRINGS, config) as (host, port):
         with ServiceClient(host, port) as client:
@@ -146,14 +216,34 @@ def main() -> int:
             # Query 4: a search-batch request and the CLI --file batch path
             # must agree with per-query searches.
             batch_smoke(client, host, port)
+
+            # Observability: the stats satellites, the merged metrics
+            # snapshot, and the explain trace over everything above.
             stats = client.stats()
-    sharded_smoke()
+            assert stats["uptime_seconds"] >= 0, stats
+            assert stats["requests_by_op"].get("search", 0) >= 2, stats
+            assert stats["errors"] == 0, stats
+            assert stats["cache"]["capacity"] > stats["cache"]["size"], stats
+            unsharded_metrics = metrics_smoke(client)
+            code = cli_main(["admin", "metrics", "--prometheus",
+                             "--host", host, "--port", str(port)])
+            assert code == 0, f"admin metrics --prometheus exited {code}"
+    sharded_metrics = sharded_smoke()
+    if args.metrics_out:
+        out = Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps({"unsharded": unsharded_metrics,
+                        "sharded": sharded_metrics},
+                       indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"metrics snapshots written to {args.metrics_out}")
     print(f"OK: service smoke passed on {host}:{port} "
           f"({stats['queries_served']}+ queries, "
           f"cache hits={stats['cache']['hits']}, "
           f"index bytes={stats['index']['approximate_bytes']}), "
           f"2-shard cross-shard + batch queries + live "
-          f"add-shard/remove-shard verified")
+          f"add-shard/remove-shard + metrics/explain funnel verified")
     return 0
 
 

@@ -20,12 +20,31 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from ..exceptions import ExperimentError
+from ..types import JoinStatistics
 from .harness import ExperimentTable, available_cpus
 
 #: Version of the BENCH_*.json trajectory layout.
 BENCH_SCHEMA = 1
 #: Runs kept per trajectory file; older runs rotate out oldest-first.
 BENCH_KEEP_RUNS = 50
+
+#: :class:`~repro.types.JoinStatistics` counters that make up the filter
+#: funnel, in pipeline order (each stage can only shrink the stream).
+FUNNEL_METRIC_FIELDS = ("num_selected_substrings", "num_index_probes",
+                        "num_postings_scanned", "num_candidates",
+                        "num_verifications", "num_accepted")
+
+
+def funnel_metrics(statistics: JoinStatistics) -> dict[str, int]:
+    """The filter-funnel counters of ``statistics`` as a flat mapping.
+
+    Benchmark scripts merge this into the headline ``metrics`` of their
+    :func:`bench_run_payload` so ``BENCH_*.json`` trajectories track
+    candidate-count regressions — a filter change that suddenly lets 10x
+    more candidates through to the verifier — alongside raw speedups.
+    """
+    return {field: getattr(statistics, field)
+            for field in FUNNEL_METRIC_FIELDS}
 
 
 def _format_value(value: Any) -> str:

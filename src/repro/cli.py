@@ -13,6 +13,8 @@ Six subcommands cover the day-to-day uses of the library::
     passjoin query --file queries.txt --tau 1  # batch: one request, N queries
     passjoin admin reshard --shards 4          # live-resize a sharded server
     passjoin admin status                      # shard balance + rebalance state
+    passjoin admin metrics --prometheus        # scrape the telemetry registry
+    passjoin query "some string" --explain     # per-stage funnel of one probe
 
 The module is also importable: :func:`main` takes an ``argv`` list, which is
 what the CLI tests use.
@@ -22,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import sys
 from typing import Sequence
 
@@ -119,6 +122,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--migration-batch", type=int, default=256,
                        help="records moved per live-resharding step "
                             "(default 256)")
+    serve.add_argument("--slow-query-ms", type=float, default=0.0,
+                       help="log requests slower than this (milliseconds) "
+                            "to the JSON slow-query log (default 0 = off)")
     serve.add_argument("--limit", type=int,
                        help="read at most this many strings")
 
@@ -135,6 +141,9 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--top-k", type=int, default=None,
                        help="return the k closest strings instead of a "
                             "threshold search")
+    query.add_argument("--explain", action="store_true",
+                       help="print the per-stage filter funnel of one "
+                            "traced probe (JSON) instead of plain matches")
     query.add_argument("--host", default="127.0.0.1",
                        help="server address (default 127.0.0.1)")
     query.add_argument("--port", type=int, default=8765,
@@ -160,6 +169,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="server address (default 127.0.0.1)")
     status.add_argument("--port", type=int, default=8765,
                         help="server port (default 8765)")
+    metrics = admin_sub.add_parser(
+        "metrics", help="scrape the server's merged telemetry registry "
+                        "(works on sharded and unsharded servers)")
+    metrics.add_argument("--host", default="127.0.0.1",
+                         help="server address (default 127.0.0.1)")
+    metrics.add_argument("--port", type=int, default=8765,
+                         help="server port (default 8765)")
+    metrics.add_argument("--prometheus", action="store_true",
+                         help="render Prometheus text exposition format "
+                              "instead of JSON")
     return parser
 
 
@@ -242,7 +261,12 @@ def _command_serve(args: argparse.Namespace) -> int:
                            compact_interval=args.compact_interval,
                            shards=args.shards, shard_policy=args.shard_policy,
                            shard_backend=args.shard_backend,
-                           migration_batch=args.migration_batch)
+                           migration_batch=args.migration_batch,
+                           slow_query_ms=args.slow_query_ms)
+    if config.slow_query_ms:
+        from .obs.slowlog import configure_slow_query_logging
+
+        configure_slow_query_logging(sys.stderr)
 
     def announce(address: tuple[str, int]) -> None:
         sharding = ("unsharded" if config.shards == 1 else
@@ -269,8 +293,21 @@ def _command_query(args: argparse.Namespace) -> int:
         print("--top-k is a per-query search; it cannot be combined with "
               "--file", file=sys.stderr)
         return 2
+    if args.explain and (args.file is not None or args.top_k is not None):
+        print("--explain traces one threshold search; it cannot be combined "
+              "with --file or --top-k", file=sys.stderr)
+        return 2
     try:
         with ServiceClient(args.host, args.port) as client:
+            if args.explain:
+                report = client.explain(args.text, args.tau)
+                print(json.dumps(report, indent=2, sort_keys=True))
+                funnel = report["funnel"]
+                print(f"# candidates={funnel['candidates']} "
+                      f"verifications={funnel['verifications']} "
+                      f"accepted={funnel['accepted']} "
+                      f"matches={report['num_matches']}", file=sys.stderr)
+                return 0
             if args.file is not None:
                 queries = load_strings(args.file)
                 results = client.search_batch(queries, args.tau)
@@ -321,6 +358,18 @@ def _command_admin(args: argparse.Namespace) -> int:
 
     try:
         with ServiceClient(args.host, args.port) as client:
+            if args.admin_command == "metrics":
+                # Metrics work on sharded and unsharded servers alike, so
+                # this dispatches before the sharded-only check below.
+                payload = client.metrics()
+                if args.prometheus:
+                    from .obs.metrics import render_prometheus
+
+                    sys.stdout.write(render_prometheus(payload["merged"]))
+                else:
+                    payload.pop("ok", None)
+                    print(json.dumps(payload, indent=2, sort_keys=True))
+                return 0
             stats = client.stats()
             if "shards" not in stats:
                 print("error: the server is unsharded; restart it with "

@@ -235,6 +235,10 @@ class ServiceConfig:
         two shards.  Bounds how long a single migration step can hold the
         serving loop, which is what keeps queries flowing while an
         ``add-shard``/``remove-shard`` rebalance is in flight.
+    slow_query_ms:
+        Latency threshold (milliseconds) above which a request is written
+        to the structured slow-query log (see :mod:`repro.obs.slowlog`).
+        ``0`` (default) disables slow-query logging.
     """
 
     host: str = "127.0.0.1"
@@ -250,6 +254,7 @@ class ServiceConfig:
     shard_policy: str = "hash"
     shard_backend: str = "auto"
     migration_batch: int = 256
+    slow_query_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.partition, PartitionStrategy):
@@ -279,6 +284,12 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"batch_window must be a non-negative number, "
                 f"got {self.batch_window!r}")
+        if (isinstance(self.slow_query_ms, bool)
+                or not isinstance(self.slow_query_ms, (int, float))
+                or self.slow_query_ms < 0):
+            raise ConfigurationError(
+                f"slow_query_ms must be a non-negative number, "
+                f"got {self.slow_query_ms!r}")
         if (isinstance(self.shards, bool) or not isinstance(self.shards, int)
                 or self.shards < 1):
             raise ConfigurationError(

@@ -36,7 +36,7 @@ group instead of once per query (scan sharing for the select phase).
 from __future__ import annotations
 
 import time
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..config import PartitionStrategy
 from ..distance.banded import length_aware_edit_distance
@@ -45,6 +45,9 @@ from .index import SegmentIndex
 from .partition import can_partition
 from .selection import SubstringSelector
 from .verify import BaseVerifier, MatchContext
+
+if TYPE_CHECKING:
+    from ..obs.trace import ProbeTrace
 
 
 def sort_key(record: StringRecord) -> tuple[int, str]:
@@ -83,6 +86,7 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
                  stats: JoinStatistics, max_length: int,
                  allow_same_id: bool = False,
                  accept: Callable[[int], bool] | None = None,
+                 trace: "ProbeTrace | None" = None,
                  ) -> list[tuple[StringRecord, int]]:
     """Find indexed (and short-pool) strings similar to ``probe``.
 
@@ -92,6 +96,10 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
     indexed records may partner the probe by record id; ids it rejects are
     skipped before candidate counting and verification, exactly as if they
     were not indexed at all.
+
+    ``trace`` optionally collects a per-indexed-length breakdown for the
+    ``explain`` op.  The per-posting filter loop is duplicated so that the
+    untraced hot path executes unchanged when ``trace`` is ``None``.
     """
     found: dict[int, int] = {}
     checked: set[int] = set()
@@ -110,6 +118,10 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
         stats.num_verifications += 1
         distance = length_aware_edit_distance(record.text, probe.text, tau, stats)
         stats.verification_seconds += time.perf_counter() - verification_started
+        if trace is not None:
+            trace.short_pool_checked += 1
+            if distance <= tau:
+                trace.short_pool_accepted += 1
         if distance <= tau:
             found[record.id] = distance
     matches: list[tuple[StringRecord, int]] = [
@@ -127,44 +139,79 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
         selections = selector.select(probe.text, length, layout)
         stats.selection_seconds += time.perf_counter() - selection_started
         stats.num_selected_substrings += len(selections)
+        entry = (None if trace is None
+                 else trace.length_entry(length, layout, len(selections)))
 
         for selection in selections:
             stats.num_index_probes += 1
+            if entry is not None:
+                entry["index_probes"] += 1
             postings = index.lookup(length, selection.ordinal, selection.text)
             if not postings:
                 continue
+            stats.num_postings_scanned += len(postings)
             store = postings.store
             store_ids = store.ids
             rows: list[int] = []
             row_ids: list[int] = []
-            for row in postings.ordinals:
-                record_id = store_ids[row]
-                if record_id == probe_id and not allow_same_id:
-                    continue
-                if accept is not None and not accept(record_id):
-                    continue
-                if record_id in found:
-                    continue
-                if skip_rechecks and record_id in checked:
-                    continue
-                rows.append(row)
-                row_ids.append(record_id)
+            if entry is None:
+                for row in postings.ordinals:
+                    record_id = store_ids[row]
+                    if record_id == probe_id and not allow_same_id:
+                        continue
+                    if accept is not None and not accept(record_id):
+                        continue
+                    if record_id in found:
+                        continue
+                    if skip_rechecks and record_id in checked:
+                        continue
+                    rows.append(row)
+                    row_ids.append(record_id)
+            else:
+                # Traced twin of the loop above: identical filter order,
+                # plus per-filter attribution for the explain report.
+                entry["postings_scanned"] += len(postings)
+                for row in postings.ordinals:
+                    record_id = store_ids[row]
+                    if record_id == probe_id and not allow_same_id:
+                        entry["filtered_same_id"] += 1
+                        continue
+                    if accept is not None and not accept(record_id):
+                        entry["filtered_excluded"] += 1
+                        continue
+                    if record_id in found:
+                        entry["filtered_already_found"] += 1
+                        continue
+                    if skip_rechecks and record_id in checked:
+                        entry["filtered_rechecked"] += 1
+                        continue
+                    rows.append(row)
+                    row_ids.append(record_id)
             if not rows:
                 continue
             stats.num_candidates += len(rows)
+            if entry is not None:
+                entry["candidates"] += len(rows)
             context = MatchContext(ordinal=selection.ordinal,
                                    probe_start=selection.start,
                                    seg_start=selection.seg_start,
                                    seg_length=selection.seg_length)
+            verifications_before = stats.num_verifications
             verification_started = time.perf_counter()
             accepted = verifier.verify_rows(probe.text, store, rows, context)
             stats.verification_seconds += time.perf_counter() - verification_started
+            if entry is not None:
+                entry["verifications"] += (stats.num_verifications
+                                           - verifications_before)
             if skip_rechecks:
                 checked.update(row_ids)
             for record, distance in accepted:
                 if record.id not in found:
                     found[record.id] = distance
                     matches.append((record, distance))
+                    if entry is not None:
+                        entry["accepted"] += 1
+    stats.num_accepted += len(matches)
     return matches
 
 
@@ -267,6 +314,7 @@ def probe_many(queries: Sequence[tuple[str, int]], *, index: SegmentIndex,
                             text[start:start + seg_length])
                         if not postings:
                             continue
+                        stats.num_postings_scanned += len(postings)
                         store = postings.store
                         store_ids = store.ids
                         rows = []
@@ -301,6 +349,9 @@ def probe_many(queries: Sequence[tuple[str, int]], *, index: SegmentIndex,
                                 state.matches.append((record, distance))
 
         for state in states:
+            # Counted once per unique query (not per fan-out position), so
+            # the funnel invariant accepted <= verifications holds.
+            stats.num_accepted += len(state.matches)
             for position in state.positions:
                 results[position] = list(state.matches)
     return results

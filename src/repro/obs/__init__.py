@@ -1,0 +1,54 @@
+"""Observability: metrics, probe traces, and structured slow-query logging.
+
+The paper's entire evaluation story is a *funnel* — substrings selected →
+candidates generated → candidates surviving the filters → verifications →
+accepted pairs, plus per-stage time (Figures 11-14).  This package turns
+those transient benchmark numbers into first-class serving telemetry:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  fixed-bucket latency histograms.  Cheap to update on the hot path,
+  snapshot-able to plain dicts (JSON- and pickle-friendly), and
+  **mergeable**: fork-pool workers and process-backend shards ship
+  snapshots over their existing pipes and the router aggregates them with
+  :func:`~repro.obs.metrics.merge_snapshots`.
+* :func:`~repro.obs.metrics.funnel_snapshot` — the engine's
+  :class:`~repro.types.JoinStatistics` counters (including the batched
+  Myers kernel's cell/early-termination counters) rendered as a registry
+  snapshot, so the probe funnel and the service-level request metrics
+  merge into one scrape.
+* :func:`~repro.obs.metrics.render_prometheus` — Prometheus text
+  exposition rendering of any snapshot (the ``admin metrics --prometheus``
+  backend), with :func:`~repro.obs.metrics.parse_prometheus` as the
+  round-trip validity check.
+* :class:`~repro.obs.trace.ProbeTrace` — the tracing context threaded
+  through :func:`repro.core.engine.probe_record` by ``explain``: per
+  indexed length, which selection windows were probed, how many postings
+  were scanned, how many candidates survived each filter, and what the
+  verifier accepted.
+* :mod:`~repro.obs.slowlog` — structured slow-query logging on stdlib
+  ``logging`` with a JSON formatter, gated by
+  :attr:`~repro.config.ServiceConfig.slow_query_ms`.
+"""
+
+from .metrics import (DEFAULT_LATENCY_BUCKETS, MetricsRegistry,
+                      funnel_snapshot, merge_snapshots, parse_prometheus,
+                      render_prometheus)
+from .slowlog import (SLOW_QUERY_LOGGER_NAME, JsonLogFormatter,
+                      configure_slow_query_logging, log_slow_query)
+from .trace import ProbeTrace, build_explain_report, merge_explain_reports
+
+__all__ = [
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "merge_snapshots",
+    "funnel_snapshot",
+    "render_prometheus",
+    "parse_prometheus",
+    "ProbeTrace",
+    "build_explain_report",
+    "merge_explain_reports",
+    "JsonLogFormatter",
+    "SLOW_QUERY_LOGGER_NAME",
+    "configure_slow_query_logging",
+    "log_slow_query",
+]

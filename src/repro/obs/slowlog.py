@@ -1,0 +1,94 @@
+"""Structured slow-query logging on stdlib ``logging``.
+
+The service calls :func:`log_slow_query` for any request whose latency
+exceeds :attr:`~repro.config.ServiceConfig.slow_query_ms`.  Events are
+emitted through an ordinary :class:`logging.Logger` named
+:data:`SLOW_QUERY_LOGGER_NAME`, carrying the structured payload in the
+record's ``slow_query`` attribute — so deployments can attach any
+handler they like, and :class:`JsonLogFormatter` renders each event as
+one JSON object per line for machine consumption.
+
+Following library convention, importing this module attaches **no**
+handlers; call :func:`configure_slow_query_logging` (the ``serve``
+command does when ``--slow-query-ms`` is set) or wire up handlers
+yourself.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Mapping
+
+#: Logger through which all slow-query events flow.
+SLOW_QUERY_LOGGER_NAME = "repro.service.slow_query"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format log records as one JSON object per line.
+
+    For records carrying a ``slow_query`` mapping (as emitted by
+    :func:`log_slow_query`), that payload becomes the event body; plain
+    records fall back to their formatted message.  Output key order is
+    stable (sorted) so log diffs and tests are deterministic.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "timestamp": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+        }
+        event = getattr(record, "slow_query", None)
+        if isinstance(event, Mapping):
+            payload["event"] = "slow_query"
+            payload.update(event)
+        else:
+            payload["message"] = record.getMessage()
+        return json.dumps(payload, sort_keys=True)
+
+
+def log_slow_query(*, op: str, seconds: float, threshold_ms: float,
+                   ok: bool, query: str | None = None,
+                   logger: logging.Logger | None = None) -> None:
+    """Emit one structured slow-query event.
+
+    ``query`` is truncated to 200 characters — slow-query logs exist to
+    answer "which op, how slow, roughly what input", not to archive
+    payloads.
+    """
+    if logger is None:
+        logger = logging.getLogger(SLOW_QUERY_LOGGER_NAME)
+    if not logger.isEnabledFor(logging.WARNING):
+        return
+    event: dict[str, Any] = {
+        "op": op,
+        "latency_ms": round(seconds * 1000.0, 3),
+        "threshold_ms": threshold_ms,
+        "ok": ok,
+    }
+    if query is not None:
+        event["query"] = query[:200]
+    logger.warning("slow query: op=%s latency_ms=%.3f", op,
+                   seconds * 1000.0, extra={"slow_query": event})
+
+
+def configure_slow_query_logging(
+        stream: Any | None = None) -> logging.Logger:
+    """Attach a JSON-formatting stream handler to the slow-query logger.
+
+    Idempotent: an existing handler installed by a previous call is
+    reused, so repeated server starts in one process do not duplicate
+    log lines.  Returns the configured logger.
+    """
+    logger = logging.getLogger(SLOW_QUERY_LOGGER_NAME)
+    logger.setLevel(logging.WARNING)
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_slow_query", False):
+            return logger
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter())
+    handler._repro_slow_query = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -23,8 +23,9 @@ exactly as in the join driver.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from ..config import PartitionStrategy, VerificationMethod, validate_threshold
 from ..core.engine import probe_many, probe_record
@@ -33,6 +34,7 @@ from ..core.partition import can_partition
 from ..core.selection import MultiMatchAwareSelector
 from ..core.verify import make_verifier
 from ..exceptions import InvalidThresholdError
+from ..obs.trace import ProbeTrace, build_explain_report
 from ..types import JoinStatistics, StringRecord, as_records
 
 
@@ -202,6 +204,39 @@ class PassJoinSearcher:
                        key=SearchMatch.sort_key)
         stats.num_results += len(found)
         return found
+
+    def explain(self, query: str, tau: int | None = None) -> dict[str, Any]:
+        """Run one traced probe and return the per-stage funnel breakdown.
+
+        The probe executes the exact :meth:`search` pipeline, but against a
+        *private* :class:`~repro.types.JoinStatistics` (production counters
+        stay untouched) and with a :class:`~repro.obs.trace.ProbeTrace`
+        threaded through the engine.  The report (a plain JSON-ready dict)
+        carries the filter funnel, a per-indexed-length breakdown with the
+        partition layout and selection windows, the verifier kernel and its
+        counters, stage wall times, and the matches themselves —
+        ``funnel.accepted`` always equals ``num_matches``, which equals
+        what :meth:`search` returns for the same arguments.
+        """
+        tau = self.max_tau if tau is None else validate_threshold(tau)
+        if tau > self.max_tau:
+            raise InvalidThresholdError(tau)
+        stats = JoinStatistics()
+        verifier = make_verifier(self.verification, tau, stats)
+        trace = ProbeTrace()
+        probe = StringRecord(id=-1, text=query)
+        started = time.perf_counter()
+        raw = probe_record(
+            probe, tau=tau, index=self._index, short_pool=self._short_pool,
+            selector=self._selector, verifier=verifier, stats=stats,
+            max_length=len(query) + tau, allow_same_id=True, trace=trace)
+        total_seconds = time.perf_counter() - started
+        matches = sorted((SearchMatch(distance, record.id, record.text)
+                          for record, distance in raw),
+                         key=SearchMatch.sort_key)
+        return build_explain_report(
+            query=query, tau=tau, verifier=verifier, trace=trace,
+            stats=stats, matches=matches, total_seconds=total_seconds)
 
     def search_many(self, queries: Sequence[str],
                     tau: int | Sequence[int | None] | None = None,

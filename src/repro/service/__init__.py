@@ -28,8 +28,18 @@ north star.  Three layers, composable and individually testable:
    resize the fleet live — records stream between shards in bounded
    batches while queries keep being answered exactly.
 
+Every layer is observable through :mod:`repro.obs`: the service records
+per-op request counts, error counts, and latency histograms into a
+:class:`~repro.obs.metrics.MetricsRegistry`; the engine's filter-funnel
+counters (and each shard's, merged across the fleet) are exposed by the
+``metrics`` wire op with Prometheus rendering; the ``explain`` op traces
+one probe into a per-stage funnel breakdown; and requests slower than
+:attr:`~repro.config.ServiceConfig.slow_query_ms` hit a structured JSON
+slow-query log.
+
 Configuration lives in :class:`repro.config.ServiceConfig`; the CLI
-exposes the stack as ``passjoin serve`` / ``passjoin query``.
+exposes the stack as ``passjoin serve`` / ``passjoin query`` /
+``passjoin admin metrics``.
 """
 
 from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig

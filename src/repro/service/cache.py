@@ -37,7 +37,8 @@ class CacheStats:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, int | float]:
+        """Counters plus the derived ``hit_rate`` (the only float value)."""
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,

@@ -118,6 +118,13 @@ class _RequestMixin:
             payload["id"] = record_id
         return payload
 
+    @staticmethod
+    def _explain_payload(query: str, tau: int | None) -> dict:
+        payload: dict = {"op": "explain", "query": query}
+        if tau is not None:
+            payload["tau"] = tau
+        return payload
+
 
 class ServiceClient(_RequestMixin):
     """Blocking JSON-lines client.
@@ -192,6 +199,27 @@ class ServiceClient(_RequestMixin):
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
+
+    def metrics(self) -> dict:
+        """The server's merged telemetry snapshot (the ``metrics`` op).
+
+        The response carries ``merged`` (a registry snapshot summing the
+        request metrics, cache counters, and engine funnel — render it
+        with :func:`repro.obs.render_prometheus`), ``uptime_seconds``, and
+        a per-shard breakdown under ``shards`` on sharded servers.
+        """
+        return self.request({"op": "metrics"})
+
+    def explain(self, query: str, tau: int | None = None) -> dict:
+        """Run one traced probe on the server; return the explain report.
+
+        The report's per-stage funnel, per-length breakdown, verifier
+        counters, and stage wall times describe exactly the probe that a
+        :meth:`search` with the same arguments would run; its matches are
+        the same, as dicts (see :meth:`PassJoinSearcher.explain
+        <repro.search.searcher.PassJoinSearcher.explain>`).
+        """
+        return self.request(self._explain_payload(query, tau))["explain"]
 
     def add_shard(self) -> dict:
         """Grow the server's shard fleet by one; return the rebalance status.
@@ -309,6 +337,14 @@ class AsyncServiceClient(_RequestMixin):
 
     async def stats(self) -> dict:
         return await self.request({"op": "stats"})
+
+    async def metrics(self) -> dict:
+        """Async counterpart of :meth:`ServiceClient.metrics`."""
+        return await self.request({"op": "metrics"})
+
+    async def explain(self, query: str, tau: int | None = None) -> dict:
+        """Async counterpart of :meth:`ServiceClient.explain`."""
+        return (await self.request(self._explain_payload(query, tau)))["explain"]
 
     async def add_shard(self) -> dict:
         """Async counterpart of :meth:`ServiceClient.add_shard`."""

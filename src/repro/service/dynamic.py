@@ -30,7 +30,8 @@ suite asserts this equivalence on random interleavings.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import time
+from typing import Any, Iterable, Sequence
 
 from ..config import PartitionStrategy, validate_threshold
 from ..core.engine import probe_many, probe_record
@@ -39,6 +40,7 @@ from ..core.partition import can_partition
 from ..core.selection import MultiMatchAwareSelector
 from ..core.verify import ExtensionVerifier
 from ..exceptions import InvalidThresholdError
+from ..obs.trace import ProbeTrace, build_explain_report
 from ..search.searcher import (SearchMatch, resolve_query_taus,
                                wrap_batch_matches)
 from ..types import JoinStatistics, StringRecord, as_records
@@ -290,6 +292,45 @@ class DynamicSearcher:
         return sorted((SearchMatch(distance, record.id, record.text)
                        for record, distance in matches),
                       key=SearchMatch.sort_key)
+
+    def explain(self, query: str, tau: int | None = None) -> dict[str, Any]:
+        """Run one traced probe and return the per-stage funnel breakdown.
+
+        Dynamic counterpart of :meth:`PassJoinSearcher.explain
+        <repro.search.searcher.PassJoinSearcher.explain>`: the probe runs
+        the exact :meth:`search` pipeline — including the tombstone filter,
+        whose rejections show up as ``filtered_excluded`` in the per-length
+        entries — against a private :class:`~repro.types.JoinStatistics`,
+        so production counters stay untouched and the report's funnel is an
+        exact per-query delta.  ``funnel.accepted`` equals ``num_matches``,
+        which equals what :meth:`search` returns for the same arguments.
+        """
+        tau = self.max_tau if tau is None else validate_threshold(tau)
+        if tau > self.max_tau:
+            raise InvalidThresholdError(tau)
+        stats = JoinStatistics()
+        verifier = ExtensionVerifier(tau, stats)
+        trace = ProbeTrace()
+        probe = StringRecord(id=-1, text=query)
+        tombstones = self._tombstones
+        accept = None
+        if tombstones:
+            def accept(record_id: int) -> bool:
+                return record_id not in tombstones
+        started = time.perf_counter()
+        raw = probe_record(
+            probe, tau=tau, index=self._index,
+            short_pool=list(self._short_pool.values()),
+            selector=self._selector, verifier=verifier, stats=stats,
+            max_length=len(query) + tau, allow_same_id=True, accept=accept,
+            trace=trace)
+        total_seconds = time.perf_counter() - started
+        matches = sorted((SearchMatch(distance, record.id, record.text)
+                          for record, distance in raw),
+                         key=SearchMatch.sort_key)
+        return build_explain_report(
+            query=query, tau=tau, verifier=verifier, trace=trace,
+            stats=stats, matches=matches, total_seconds=total_seconds)
 
     def search_many(self, queries: Sequence[str],
                     tau: int | Sequence[int | None] | None = None,

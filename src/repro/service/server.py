@@ -6,9 +6,14 @@ Two classes split the serving stack along the transport boundary:
   :class:`~repro.service.dynamic.DynamicSearcher`, the
   :class:`~repro.service.cache.QueryCache`, and the request vocabulary
   (``search`` / ``top-k`` / ``search-batch`` / ``insert`` / ``delete`` /
-  ``compact`` / ``stats`` / ``ping``, plus the fleet-resize admin ops
-  ``add-shard`` / ``remove-shard`` / ``rebalance-status`` on sharded
-  services), mapping request dictionaries to response dictionaries.  Tests, the smoke script, and future transports
+  ``compact`` / ``stats`` / ``metrics`` / ``explain`` / ``ping``, plus the
+  fleet-resize admin ops ``add-shard`` / ``remove-shard`` /
+  ``rebalance-status`` on sharded services), mapping request dictionaries
+  to response dictionaries.  Every dispatched request is recorded into a
+  :class:`~repro.obs.metrics.MetricsRegistry` (per-op counts, errors,
+  latency histograms) and — past
+  :attr:`~repro.config.ServiceConfig.slow_query_ms` — into the structured
+  slow-query log.  Tests, the smoke script, and future transports
   talk to this object directly.  Cache-missing searches of a batch are
   answered by one grouped ``search_many()`` index pass.
 * :class:`SimilarityServer` — the asyncio JSON-lines TCP transport.  One
@@ -40,10 +45,13 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from typing import Callable, Iterable, Sequence
 
 from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig, validate_threshold
 from ..exceptions import InvalidThresholdError, ServiceError
+from ..obs.metrics import MetricsRegistry, funnel_snapshot, merge_snapshots
+from ..obs.slowlog import log_slow_query
 from ..search.searcher import SearchMatch
 from ..types import StringRecord
 from .batcher import RequestBatcher
@@ -62,8 +70,8 @@ BATCH_OP = "search-batch"
 RESHARD_OPS = ("add-shard", "remove-shard")
 #: Every operation the service understands.
 ALL_OPS = QUERY_OPS + (BATCH_OP,) + RESHARD_OPS + (
-    "rebalance-status", "insert", "delete", "compact", "stats", "ping",
-    "shutdown")
+    "rebalance-status", "insert", "delete", "compact", "stats", "metrics",
+    "explain", "ping", "shutdown")
 
 #: Query keys are tuples: ("search", query, tau) or ("top-k", query, k, limit).
 QueryKey = tuple
@@ -126,6 +134,11 @@ class SimilarityService:
                 compact_interval=config.compact_interval)
         self.cache = QueryCache(config.cache_capacity)
         self.queries_served = 0
+        # Service-level telemetry: per-op request/error counters and
+        # latency histograms, fed by record_request() on every dispatch
+        # (both the transport-free core and the TCP fast paths).
+        self.metrics = MetricsRegistry()
+        self.started_monotonic = time.monotonic()
         # Last background reshard-drain failure (set by the transport's
         # drain task, surfaced through rebalance-status): a dead shard
         # worker mid-migration must not strand status pollers in an
@@ -247,10 +260,48 @@ class SimilarityService:
     # Dispatch
     # ------------------------------------------------------------------
     def handle_request(self, payload: object) -> dict:
-        """Map one request object to one response object (never raises)."""
+        """Map one request object to one response object (never raises).
+
+        Every request dispatched here is recorded into :attr:`metrics`
+        (request count, latency histogram, error count — all keyed by op)
+        via :meth:`record_request`; the TCP transport's query fast paths
+        bypass this method and record themselves, so each request is
+        counted exactly once whichever way it enters.
+        """
         if not isinstance(payload, dict):
             return {"ok": False, "error": "request must be a JSON object"}
         op = payload.get("op")
+        started = time.perf_counter()
+        response = self._dispatch(payload, op)
+        query = payload.get("query")
+        self.record_request(op, time.perf_counter() - started,
+                            bool(response.get("ok")),
+                            query=query if isinstance(query, str) else None)
+        return response
+
+    def record_request(self, op: object, seconds: float, ok: bool, *,
+                       query: str | None = None) -> None:
+        """Record one finished request into the service metrics.
+
+        The counter increment and the histogram observation share the op
+        name, so ``requests.<op>`` always equals the matching latency
+        histogram's total count — the invariant the smoke script asserts.
+        Ops outside :data:`ALL_OPS` are pooled under ``"unknown"``, keeping
+        metric cardinality bounded against garbage input.  Requests slower
+        than :attr:`~repro.config.ServiceConfig.slow_query_ms` also emit a
+        structured slow-query log event.
+        """
+        name = op if isinstance(op, str) and op in ALL_OPS else "unknown"
+        self.metrics.inc(f"requests.{name}")
+        self.metrics.observe(f"latency_seconds.{name}", seconds)
+        if not ok:
+            self.metrics.inc(f"errors.{name}")
+        threshold = self.config.slow_query_ms
+        if threshold and seconds * 1000.0 >= threshold:
+            log_slow_query(op=name, seconds=seconds, threshold_ms=threshold,
+                           ok=ok, query=query)
+
+    def _dispatch(self, payload: dict, op: object) -> dict:
         try:
             if op in QUERY_OPS:
                 key = self.build_query_key(payload)
@@ -298,6 +349,13 @@ class SimilarityService:
                         "epoch": self.searcher.epoch}
             if op == "stats":
                 return {"ok": True, **self.stats()}
+            if op == "metrics":
+                return self.metrics_payload()
+            if op == "explain":
+                query = _require_str(payload, "query")
+                report = self.searcher.explain(query, payload.get("tau"))
+                return {"ok": True, "explain": report,
+                        "epoch": self.searcher.epoch}
             if op == "ping":
                 return {"ok": True, "pong": True, "epoch": self.searcher.epoch}
             if op == "shutdown":
@@ -346,13 +404,58 @@ class SimilarityService:
                 "cached": [cached for _, cached in answers],
                 "epoch": epoch}
 
+    def _cache_snapshot(self) -> dict:
+        """The query cache's counters and occupancy as a registry snapshot."""
+        registry = MetricsRegistry()
+        cache_stats = self.cache.stats.as_dict()
+        for name in ("hits", "misses", "evictions", "invalidations"):
+            registry.inc(f"cache_{name}", cache_stats[name])
+        registry.set_gauge("cache_size", len(self.cache))
+        registry.set_gauge("cache_capacity", self.cache.capacity)
+        return registry.snapshot()
+
+    def metrics_payload(self) -> dict:
+        """The ``metrics`` op response: one merged registry snapshot.
+
+        Merges three sources with
+        :func:`~repro.obs.metrics.merge_snapshots`: the service-level
+        request metrics (:attr:`metrics`), the query cache's counters, and
+        the engine's filter funnel — read from the searcher's
+        :class:`~repro.types.JoinStatistics` directly when unsharded, or
+        scatter-gathered and summed across the fleet by
+        :meth:`ShardRouter.metrics_snapshot
+        <repro.service.sharding.ShardRouter.metrics_snapshot>` when
+        sharded, in which case the per-shard snapshots are also exposed
+        under ``shards.per_shard``.
+        """
+        uptime = time.monotonic() - self.started_monotonic
+        self.metrics.set_gauge("uptime_seconds", uptime)
+        searcher = self.searcher
+        payload: dict = {"ok": True, "uptime_seconds": uptime,
+                         "epoch": searcher.epoch}
+        if isinstance(searcher, ShardRouter):
+            shard_metrics = searcher.metrics_snapshot()
+            engine = shard_metrics["merged"]
+            payload["shards"] = {"count": searcher.num_shards,
+                                 "per_shard": shard_metrics["per_shard"]}
+        else:
+            engine = funnel_snapshot(searcher.statistics,
+                                     memory=searcher.index_memory())
+        payload["merged"] = merge_snapshots(
+            [self.metrics.snapshot(), self._cache_snapshot(), engine])
+        return payload
+
     def stats(self) -> dict:
         """Service-level counters (the ``stats`` op payload minus ``ok``).
 
         ``index`` carries the columnar store's memory figures (record and
         posting counts, ``approximate_bytes``); under sharding they are
         fleet-wide sums, with the per-shard breakdown under
-        ``shards.memory``.
+        ``shards.memory``.  ``requests_by_op`` and ``errors`` come from the
+        request metrics (only ops seen since startup appear);
+        ``queries_served`` keeps counting individual queries, including
+        every member of a batch, so it is not the sum of
+        ``requests_by_op``.
         """
         searcher = self.searcher
         if isinstance(searcher, ShardRouter):
@@ -366,13 +469,20 @@ class SimilarityService:
             tombstones = searcher.tombstone_count
             statistics = searcher.statistics
             memory = searcher.index_memory()
+        cache = self.cache.stats.as_dict()
+        cache["capacity"] = self.cache.capacity
+        cache["size"] = len(self.cache)
         payload = {
             "size": len(searcher),
             "epoch": searcher.epoch,
             "tombstones": tombstones,
             "max_tau": searcher.max_tau,
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
             "queries_served": self.queries_served,
-            "cache": self.cache.stats.as_dict(),
+            "requests_by_op": self.metrics.counters_with_prefix("requests."),
+            "errors": sum(
+                self.metrics.counters_with_prefix("errors.").values()),
+            "cache": cache,
             "index": memory,
             "index_entries": statistics.index_entries,
             "index_bytes": statistics.index_bytes,
@@ -552,6 +662,18 @@ class SimilarityServer:
                 f"background reshard drain failed: {error}")
 
     async def _handle_query(self, payload: dict) -> dict:
+        started = time.perf_counter()
+        response = await self._execute_query(payload)
+        query = payload.get("query")
+        # Query ops bypass handle_request (they go through the batcher),
+        # so the transport records them itself — exactly once per request.
+        self.service.record_request(
+            payload.get("op"), time.perf_counter() - started,
+            bool(response.get("ok")),
+            query=query if isinstance(query, str) else None)
+        return response
+
+    async def _execute_query(self, payload: dict) -> dict:
         try:
             key = self.service.build_query_key(payload)
         except (ValueError, TypeError) as error:
@@ -581,6 +703,14 @@ class SimilarityServer:
         the batch as a whole (and its single ``epoch`` field, read after
         the last drain) is not guaranteed to be one snapshot.
         """
+        started = time.perf_counter()
+        response = await self._execute_batch(payload)
+        self.service.record_request(payload.get("op"),
+                                    time.perf_counter() - started,
+                                    bool(response.get("ok")))
+        return response
+
+    async def _execute_batch(self, payload: dict) -> dict:
         try:
             keys = self.service.build_batch_keys(payload)
         except (ValueError, TypeError) as error:

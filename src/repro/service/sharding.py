@@ -72,6 +72,8 @@ from ..config import (SHARD_BACKENDS, SHARD_POLICIES, PartitionStrategy,
                       validate_threshold)
 from ..core.parallel import available_workers
 from ..exceptions import ConfigurationError, InvalidThresholdError, ServiceError
+from ..obs.metrics import funnel_snapshot, merge_snapshots
+from ..obs.trace import merge_explain_reports
 from ..search.searcher import SearchMatch, resolve_query_taus
 from ..types import JoinStatistics, StringRecord, as_records
 from .dynamic import DynamicSearcher, coerce_insert_record
@@ -166,6 +168,14 @@ def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
                 "tombstones": searcher.tombstone_count,
                 "statistics": searcher.statistics,
                 "memory": searcher.index_memory()}
+    if op == "metrics":
+        # A registry snapshot is a plain dict, so it survives the process
+        # backend's pipe unchanged and merges in the router.
+        return funnel_snapshot(searcher.statistics,
+                               memory=searcher.index_memory())
+    if op == "explain":
+        query, tau = args
+        return searcher.explain(query, tau)
     raise ServiceError(f"unknown shard op {op!r}")
 
 
@@ -577,6 +587,21 @@ class ShardRouter:
         """Summed per-shard columnar-index memory figures (one scatter)."""
         return self.status_summary()["memory"]
 
+    def metrics_snapshot(self) -> dict:
+        """Fleet-wide engine funnel metrics in one scatter.
+
+        Each shard renders its :class:`~repro.types.JoinStatistics` (plus
+        columnar index memory) as a registry snapshot — a plain dict that
+        rides the process backend's pipe unchanged — and the router sums
+        them with :func:`~repro.obs.metrics.merge_snapshots`, following the
+        :meth:`status_summary` one-scatter aggregation pattern.  Returns
+        ``{"merged": ..., "per_shard": [...]}`` so the ``metrics`` wire op
+        can expose both the fleet total and the per-shard breakdown.
+        """
+        per_shard = self._scatter(range(self.num_shards), "metrics", None)
+        return {"merged": merge_snapshots(per_shard),
+                "per_shard": per_shard}
+
     def shard_sizes(self) -> list[int]:
         """Number of live records per shard (placement balance check)."""
         sizes = [0] * self.num_shards
@@ -864,6 +889,28 @@ class ShardRouter:
             return []
         gathered = self._scatter(targets, "search", (query, tau))
         return self._merge(gathered)
+
+    def explain(self, query: str, tau: int | None = None) -> dict:
+        """Scatter a traced probe; merge the per-shard explain reports.
+
+        Each probed shard runs :meth:`DynamicSearcher.explain
+        <repro.service.dynamic.DynamicSearcher.explain>` and the reports
+        are merged with :func:`~repro.obs.trace.merge_explain_reports`:
+        funnel and per-length counters are summed, matches follow the same
+        ``(distance, id)`` merge (with mid-migration id dedup) as
+        :meth:`search`, and the raw per-shard reports are kept under
+        ``"shards"``.  A query whose probe set is empty returns a zeroed
+        report without touching any shard — mirroring the :meth:`search`
+        fast path.
+        """
+        tau = self.max_tau if tau is None else validate_threshold(tau)
+        if tau > self.max_tau:
+            raise InvalidThresholdError(tau)
+        targets = self._probe_targets(len(query), tau)
+        if not targets:
+            return merge_explain_reports(query, tau, [])
+        gathered = self._scatter(targets, "explain", (query, tau))
+        return merge_explain_reports(query, tau, gathered)
 
     def search_many(self, queries: Sequence[str],
                     tau: int | Sequence[int | None] | None = None,

@@ -118,8 +118,10 @@ class JoinStatistics:
     num_indexed_segments: int = 0
     num_selected_substrings: int = 0
     num_index_probes: int = 0
+    num_postings_scanned: int = 0
     num_candidates: int = 0
     num_verifications: int = 0
+    num_accepted: int = 0
     num_results: int = 0
     num_matrix_cells: int = 0
     num_early_terminations: int = 0
