@@ -1,0 +1,122 @@
+"""Similarity kernels — edit distance vs token-set Jaccard, one workload.
+
+The pluggable-kernel layer serves both similarity semantics through the
+same searcher/cache/shard stack; this benchmark runs the
+``kernel-comparison`` experiment, which answers one corrupted-query
+workload under each kernel and asserts every kernel's matches
+element-identical to a brute-force scan with its own distance function.
+Two entry points:
+
+* Under pytest-benchmark (the suite's idiom) it runs the experiment at
+  ``BENCH_SCALE`` and asserts the acceptance criteria: the oracle checks
+  held (the experiment raises otherwise), both kernels produced matches,
+  and the funnel stayed sound (accepted <= verifications) per kernel.
+* As a script it runs a larger demonstration::
+
+      PYTHONPATH=src python benchmarks/bench_kernels.py \\
+          --size 1000 --ed-tau 2 --jaccard-tau 40 --queries 128
+
+  and appends the per-kernel throughput and funnel counters to the
+  ``BENCH_kernels.json`` trajectory (``--no-json`` to skip), so kernel
+  regressions — filter-quality or speed — are tracked run over run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+try:  # absent when executed as a plain script (python benchmarks/bench_...py)
+    from .conftest import BENCH_SCALE, record_table
+except ImportError:  # pragma: no cover - script mode
+    BENCH_SCALE, record_table = 0.25, None
+
+from repro.bench.experiments import kernel_comparison
+from repro.bench.reporting import (append_bench_run, bench_run_payload,
+                                   bench_trajectory_path, format_table)
+
+
+def _verify(table) -> list[str]:
+    """Return the list of failed acceptance criteria (empty when green)."""
+    failures = []
+    for row in table.rows:
+        if row["total_matches"] <= 0:
+            failures.append(f"{row['kernel']} kernel found no matches — "
+                            "the workload exercises nothing")
+        if row["accepted"] > row["verifications"]:
+            failures.append(f"{row['kernel']} funnel is unsound: "
+                            f"accepted {row['accepted']} > verifications "
+                            f"{row['verifications']}")
+    if {row["kernel"] for row in table.rows} != {"edit-distance",
+                                                 "token-jaccard"}:
+        failures.append("expected exactly one row per registered kernel")
+    return failures
+
+
+def test_kernel_comparison(benchmark):
+    table = benchmark.pedantic(
+        lambda: kernel_comparison(scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    assert not _verify(table), _verify(table)
+
+
+def run_kernel_demo(size: int, ed_tau: int, jaccard_tau: int, queries: int,
+                    seed: int = 7, json_dir: str | None = None) -> int:
+    """Run the comparison at ``size`` title strings, print the table.
+
+    Returns 0 when both kernels passed their brute-force oracle (the
+    experiment raises otherwise) and the acceptance checks; 1 otherwise.
+    When ``json_dir`` is given, the per-kernel measurements extend the
+    ``BENCH_kernels.json`` trajectory there.
+    """
+    from repro.bench.experiments import DEFAULT_SIZES
+
+    scale = size / DEFAULT_SIZES["title"]
+    table = kernel_comparison(scale=scale, ed_tau=ed_tau,
+                              jaccard_tau=jaccard_tau, num_queries=queries,
+                              seed=seed)
+    print(format_table(table))
+    failures = _verify(table)
+    if json_dir is not None:
+        metrics: dict = {"size": size, "queries": queries,
+                         "passed": not failures}
+        for row in table.rows:
+            prefix = row["kernel"].replace("-", "_")
+            for column in ("tau", "qps", "candidates", "verifications",
+                           "accepted", "total_matches", "index_bytes"):
+                metrics[f"{prefix}_{column}"] = row[column]
+        path = bench_trajectory_path(json_dir, "kernels")
+        document = append_bench_run(
+            path, "kernels", bench_run_payload(metrics, tables=[table]))
+        print(f"trajectory: {path} ({len(document['runs'])} run(s))")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=1000,
+                        help="number of synthetic title strings "
+                             "(default 1000)")
+    parser.add_argument("--ed-tau", type=int, default=2,
+                        help="edit-distance threshold (default 2)")
+    parser.add_argument("--jaccard-tau", type=int, default=40,
+                        help="scaled Jaccard distance threshold, < 100 "
+                             "(default 40)")
+    parser.add_argument("--queries", type=int, default=128,
+                        help="workload size (default 128)")
+    parser.add_argument("--json-dir", default=".",
+                        help="directory for BENCH_kernels.json "
+                             "(default: current directory)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing the trajectory file")
+    args = parser.parse_args(argv)
+    return run_kernel_demo(args.size, args.ed_tau, args.jaccard_tau,
+                           args.queries,
+                           json_dir=None if args.no_json else args.json_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,9 @@ The top-level package re-exports the public API:
 * :func:`pass_join` / :func:`pass_join_rs` / :class:`PassJoin` — the join.
 * :class:`ParallelPassJoin` — the chunk-parallel driver behind :func:`join`.
 * :func:`edit_distance` and the bounded kernels — the distance substrate.
+* :mod:`repro.core.kernel` — pluggable similarity kernels
+  (:func:`get_kernel`): character edit distance and token-set Jaccard,
+  served through the same index/cache/shard stack.
 * :class:`JoinConfig` and the method enums — configuration.
 * :mod:`repro.service` — the online serving layer: :class:`DynamicSearcher`
   (mutable index), :class:`QueryCache`, :class:`RequestBatcher`, and the
@@ -39,6 +42,8 @@ from .config import (DEFAULT_CONFIG, JoinConfig, PartitionStrategy,
                      SelectionMethod, VerificationMethod)
 from .core.index import SegmentIndex
 from .core.join import PassJoin, pass_join, pass_join_pairs, pass_join_rs
+from .core.kernel import (SimilarityKernel, get_kernel, kernel_names,
+                          token_jaccard_distance)
 from .core.parallel import (ParallelPassJoin, available_workers, join,
                             parallel_self_join)
 from .core.partition import partition, segment_layout
@@ -98,6 +103,11 @@ __all__ = [
     "SelectionMethod",
     "VerificationMethod",
     "PartitionStrategy",
+    # similarity kernels
+    "SimilarityKernel",
+    "get_kernel",
+    "kernel_names",
+    "token_jaccard_distance",
     # building blocks
     "SegmentIndex",
     "partition",

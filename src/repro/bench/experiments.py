@@ -902,6 +902,83 @@ def ablation_filter_quality(scale: float = 1.0, name: str = "author",
     return table
 
 
+# ----------------------------------------------------------------------
+# Similarity kernels (beyond the paper — the pluggable-kernel layer)
+# ----------------------------------------------------------------------
+def kernel_comparison(scale: float = 1.0, name: str = "title",
+                      ed_tau: int = 2, jaccard_tau: int = 40,
+                      num_queries: int | None = None,
+                      seed: int = 7) -> ExperimentTable:
+    """Both similarity kernels serving the same workload, side by side.
+
+    One corrupted-query workload over the multi-token ``title`` dataset is
+    answered twice through the same :class:`~repro.search.PassJoinSearcher`
+    front end — once under the ``edit-distance`` kernel (character edits,
+    partition segments) and once under ``token-jaccard`` (token sets,
+    prefix-filter signatures).  Thresholds are chosen to be *semantically*
+    comparable, not numerically: ``ed_tau`` character edits vs a scaled
+    Jaccard distance of ``jaccard_tau`` (``<= jaccard_tau/100`` dissimilar).
+
+    Every kernel's results are asserted element-identical to a brute-force
+    scan with its own distance function — a fast-but-wrong kernel fails the
+    experiment rather than winning it.  The funnel columns show what the
+    two signature schemes hand the verifier on identical text.
+    """
+    import random
+
+    from ..core.kernel import token_jaccard_distance
+    from ..datasets.corruption import apply_random_edits
+    from ..distance import edit_distance
+    from ..search.searcher import PassJoinSearcher
+
+    strings = build_datasets(scale, [name])[name]
+    if num_queries is None:
+        num_queries = max(16, int(128 * scale))
+    rng = random.Random(seed)
+    workload = [apply_random_edits(rng.choice(strings), rng.randint(0, 3),
+                                   rng)
+                for _ in range(num_queries)]
+
+    table = ExperimentTable(
+        key="kernel-comparison",
+        title="Similarity kernels: edit distance vs token-set Jaccard",
+        columns=["dataset", "kernel", "tau", "queries", "seconds", "qps",
+                 "candidates", "verifications", "accepted", "total_matches",
+                 "index_bytes"],
+        notes="same workload through both kernels; each kernel's matches "
+              "are asserted element-identical to a brute-force scan with "
+              "its own distance; tau semantics differ by design "
+              "(character edits vs scaled Jaccard distance); " + _SCALE_NOTE,
+    )
+    oracles = {"edit-distance": edit_distance,
+               "token-jaccard": token_jaccard_distance}
+    for kernel, tau in (("edit-distance", ed_tau),
+                        ("token-jaccard", jaccard_tau)):
+        searcher = PassJoinSearcher(strings, max_tau=tau, kernel=kernel)
+        with Timer() as timer:
+            results = [searcher.search(query, tau) for query in workload]
+        distance = oracles[kernel]
+        for query, matches in zip(workload, results):
+            expected = sorted(
+                (record_id, text) for record_id, text in enumerate(strings)
+                if distance(text, query) <= tau)
+            if sorted((m.id, m.text) for m in matches) != expected:
+                raise AssertionError(
+                    f"{kernel} kernel disagrees with brute force on "
+                    f"{query!r}")
+        stats = searcher.statistics
+        table.add_row(dataset=name, kernel=kernel, tau=tau,
+                      queries=num_queries,
+                      seconds=round(timer.seconds, 6),
+                      qps=round(num_queries / max(timer.seconds, 1e-9), 1),
+                      candidates=stats.num_candidates,
+                      verifications=stats.num_verifications,
+                      accepted=stats.num_accepted,
+                      total_matches=sum(len(m) for m in results),
+                      index_bytes=stats.index_bytes)
+    return table
+
+
 #: Registry used by the CLI and by EXPERIMENTS.md generation.
 EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "table2": table2_dataset_statistics,
@@ -922,4 +999,5 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "ablation-verifier": ablation_verifier_kernels,
     "verification-kernels": verification_kernels,
     "ablation-filter-quality": ablation_filter_quality,
+    "kernel-comparison": kernel_comparison,
 }

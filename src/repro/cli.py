@@ -9,6 +9,8 @@ Six subcommands cover the day-to-day uses of the library::
     passjoin stats FILE                        # Table-2-style statistics
     passjoin experiment figure15 --scale 0.5   # rerun a paper experiment
     passjoin serve FILE --tau 2 --port 8765    # online similarity service
+    passjoin serve FILE --tau 20 --kernel token-jaccard  # Jaccard kernel
+    passjoin admin kernels                     # list registered kernels
     passjoin query "some string" --tau 1       # ask a running service
     passjoin query --file queries.txt --tau 1  # batch: one request, N queries
     passjoin admin reshard --shards 4          # live-resize a sharded server
@@ -34,8 +36,8 @@ from .baselines.naive import NaiveJoin
 from .baselines.trie_join import TrieJoin
 from .bench.experiments import DATASET_BUILDERS, EXPERIMENTS
 from .bench.reporting import format_table
-from .config import (SHARD_POLICIES, JoinConfig, SelectionMethod,
-                     ServiceConfig, VerificationMethod)
+from .config import (DEFAULT_KERNEL, KERNELS, SHARD_POLICIES, JoinConfig,
+                     SelectionMethod, ServiceConfig, VerificationMethod)
 from .core.join import PassJoin
 from .core.parallel import ParallelPassJoin
 from .datasets.loaders import load_strings, save_strings
@@ -97,8 +99,13 @@ def _build_parser() -> argparse.ArgumentParser:
                       "(JSON lines over TCP)")
     serve.add_argument("path", help="input file, one string per line")
     serve.add_argument("--tau", type=int, default=2,
-                       help="maximum per-query edit-distance threshold "
+                       help="maximum per-query distance threshold "
                             "(default 2)")
+    serve.add_argument("--kernel", default=DEFAULT_KERNEL,
+                       choices=list(KERNELS),
+                       help="similarity kernel to serve: character "
+                            "edit distance or token-set Jaccard "
+                            f"(default {DEFAULT_KERNEL})")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8765,
@@ -136,8 +143,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="file of query strings (one per line), sent as "
                             "one search-batch request")
     query.add_argument("--tau", type=int, default=None,
-                       help="edit-distance threshold (default: the "
+                       help="distance threshold (default: the "
                             "server's maximum)")
+    query.add_argument("--kernel", default=None, choices=list(KERNELS),
+                       help="assert which similarity kernel the server "
+                            "must be serving (default: don't check)")
     query.add_argument("--top-k", type=int, default=None,
                        help="return the k closest strings instead of a "
                             "threshold search")
@@ -179,6 +189,13 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--prometheus", action="store_true",
                          help="render Prometheus text exposition format "
                               "instead of JSON")
+    kernels = admin_sub.add_parser(
+        "kernels", help="list the server's registered similarity kernels "
+                        "and which one it is serving")
+    kernels.add_argument("--host", default="127.0.0.1",
+                         help="server address (default 127.0.0.1)")
+    kernels.add_argument("--port", type=int, default=8765,
+                         help="server port (default 8765)")
     return parser
 
 
@@ -262,7 +279,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                            shards=args.shards, shard_policy=args.shard_policy,
                            shard_backend=args.shard_backend,
                            migration_batch=args.migration_batch,
-                           slow_query_ms=args.slow_query_ms)
+                           slow_query_ms=args.slow_query_ms,
+                           kernel=args.kernel)
     if config.slow_query_ms:
         from .obs.slowlog import configure_slow_query_logging
 
@@ -272,8 +290,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         sharding = ("unsharded" if config.shards == 1 else
                     f"{config.shards} {config.shard_policy} shards")
         print(f"serving {len(strings)} strings on {address[0]}:{address[1]} "
-              f"(max_tau={config.max_tau}, cache={config.cache_capacity}, "
-              f"{sharding}); Ctrl-C to stop", file=sys.stderr)
+              f"(kernel={config.kernel}, max_tau={config.max_tau}, "
+              f"cache={config.cache_capacity}, {sharding}); "
+              f"Ctrl-C to stop", file=sys.stderr)
 
     try:
         asyncio.run(run_service(strings, config, on_ready=announce))
@@ -300,7 +319,8 @@ def _command_query(args: argparse.Namespace) -> int:
     try:
         with ServiceClient(args.host, args.port) as client:
             if args.explain:
-                report = client.explain(args.text, args.tau)
+                report = client.explain(args.text, args.tau,
+                                        kernel=args.kernel)
                 print(json.dumps(report, indent=2, sort_keys=True))
                 funnel = report["funnel"]
                 print(f"# candidates={funnel['candidates']} "
@@ -310,7 +330,8 @@ def _command_query(args: argparse.Namespace) -> int:
                 return 0
             if args.file is not None:
                 queries = load_strings(args.file)
-                results = client.search_batch(queries, args.tau)
+                results = client.search_batch(queries, args.tau,
+                                              kernel=args.kernel)
                 total = 0
                 for query, matches in zip(queries, results):
                     for match in matches:
@@ -321,9 +342,11 @@ def _command_query(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return 0
             if args.top_k is not None:
-                matches = client.top_k(args.text, args.top_k, args.tau)
+                matches = client.top_k(args.text, args.top_k, args.tau,
+                                       kernel=args.kernel)
             else:
-                matches = client.search(args.text, args.tau)
+                matches = client.search(args.text, args.tau,
+                                        kernel=args.kernel)
     except OSError as error:
         print(f"error: cannot reach server at {args.host}:{args.port} "
               f"({error})", file=sys.stderr)
@@ -369,6 +392,17 @@ def _command_admin(args: argparse.Namespace) -> int:
                 else:
                     payload.pop("ok", None)
                     print(json.dumps(payload, indent=2, sort_keys=True))
+                return 0
+            if args.admin_command == "kernels":
+                # Like metrics, the kernel catalogue exists on sharded and
+                # unsharded servers alike.
+                payload = client.kernels()
+                print(f"serving: {payload['serving']}")
+                for descriptor in payload["kernels"]:
+                    marker = ("*" if descriptor["name"] == payload["serving"]
+                              else " ")
+                    print(f" {marker} {descriptor['name']}: "
+                          f"{descriptor.get('tau_semantics', '')}")
                 return 0
             stats = client.stats()
             if "shards" not in stats:

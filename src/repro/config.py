@@ -181,6 +181,13 @@ DEFAULT_CONFIG = JoinConfig()
 SHARD_POLICIES = ("hash", "length", "modulo")
 #: Shard execution backends; ``auto`` resolves per platform at runtime.
 SHARD_BACKENDS = ("auto", "process", "thread")
+#: Registered similarity kernels (see :mod:`repro.core.kernel`): the
+#: partition-based edit-distance pipeline and the prefix-filter token-set
+#: Jaccard pipeline.  :data:`repro.core.kernel` asserts its registry matches
+#: this tuple, the same contract placement maps keep with SHARD_POLICIES.
+KERNELS = ("edit-distance", "token-jaccard")
+#: Kernel served when a configuration does not name one.
+DEFAULT_KERNEL = "edit-distance"
 
 
 @dataclass(frozen=True, slots=True)
@@ -239,6 +246,13 @@ class ServiceConfig:
         Latency threshold (milliseconds) above which a request is written
         to the structured slow-query log (see :mod:`repro.obs.slowlog`).
         ``0`` (default) disables slow-query logging.
+    kernel:
+        Similarity kernel the service runs (one of :data:`KERNELS`):
+        ``"edit-distance"`` (the Pass-Join partition pipeline; ``tau`` is
+        an edit-distance bound) or ``"token-jaccard"`` (prefix-filtered
+        token sets; ``tau`` is a scaled Jaccard distance in ``[0, 100)``).
+        One server serves one kernel; requests naming another kernel are
+        rejected with the served and registered kernel names.
     """
 
     host: str = "127.0.0.1"
@@ -255,6 +269,7 @@ class ServiceConfig:
     shard_backend: str = "auto"
     migration_batch: int = 256
     slow_query_ms: float = 0.0
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if not isinstance(self.partition, PartitionStrategy):
@@ -308,6 +323,9 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"shard_backend must be one of {SHARD_BACKENDS}, "
                 f"got {self.shard_backend!r}")
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}")
 
 
 DEFAULT_SERVICE_CONFIG = ServiceConfig()

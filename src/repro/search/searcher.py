@@ -1,12 +1,16 @@
-"""Build-once / query-many approximate string search.
+"""Build-once / query-many approximate similarity search.
 
-:class:`PassJoinSearcher` indexes a string collection with the Pass-Join
-partition scheme for a maximum threshold ``max_tau``.  A query string ``q``
-with a per-query threshold ``tau ≤ max_tau`` is answered by probing the
-segment indices of every length in ``[|q| − tau, |q| + tau]`` with the
-multi-match-aware substring selection and a pluggable verification kernel
-(the extension-based verifier by default; see
-:class:`~repro.config.VerificationMethod` for the alternatives).
+:class:`PassJoinSearcher` indexes a string collection for a maximum
+threshold ``max_tau`` under a pluggable
+:class:`~repro.core.kernel.SimilarityKernel`.  With the default
+``edit-distance`` kernel this is the Pass-Join partition scheme: a query
+string ``q`` with a per-query threshold ``tau ≤ max_tau`` is answered by
+probing the segment indices of every length in ``[|q| − tau, |q| + tau]``
+with the multi-match-aware substring selection and a pluggable
+verification kernel (the extension-based verifier by default; see
+:class:`~repro.config.VerificationMethod` for the alternatives).  The
+``token-jaccard`` kernel answers the same surface with prefix-filter
+signatures over token sets instead (see :mod:`repro.core.kernel`).
 
 Why a query threshold below the index threshold stays correct: the index
 partitions every string into ``max_tau + 1`` segments.  If
@@ -15,10 +19,13 @@ applied with ``max_tau``) ``q`` contains a substring matching one of ``r``'s
 ``max_tau + 1`` segments, and the selection windows — computed with the
 *index's* ``max_tau`` — cover that substring.  Probing with the smaller
 ``tau`` only affects the verification bound, never the candidate coverage.
+(The token-jaccard analogue: index prefixes are sized for the loosest
+similarity ``max_tau`` admits, so tighter query thresholds only shorten
+the *query* prefix.)
 
-Strings too short to partition (< ``max_tau + 1`` characters) are kept in a
-side pool and verified against every query that passes the length filter,
-exactly as in the join driver.
+Strings the kernel cannot index (too short to partition; token-less) are
+kept in a side pool and verified against every query that passes the
+length filter, exactly as in the join driver.
 """
 
 from __future__ import annotations
@@ -28,11 +35,8 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
 from ..config import PartitionStrategy, VerificationMethod, validate_threshold
-from ..core.engine import probe_many, probe_record
-from ..core.index import SegmentIndex
-from ..core.partition import can_partition
-from ..core.selection import MultiMatchAwareSelector
-from ..core.verify import make_verifier
+from ..core.kernel import (SimilarityKernel, check_batch_kernels,
+                           resolve_kernel)
 from ..exceptions import InvalidThresholdError
 from ..obs.trace import ProbeTrace, build_explain_report
 from ..types import JoinStatistics, StringRecord, as_records
@@ -66,7 +70,7 @@ def resolve_query_taus(queries: Sequence[str],
 
 def wrap_batch_matches(raw: Sequence[Sequence[tuple[StringRecord, int]]],
                        stats: JoinStatistics) -> list[list["SearchMatch"]]:
-    """Turn :func:`~repro.core.engine.probe_many` output into result lists.
+    """Turn a kernel backend's batch-probe output into result lists.
 
     One sorted ``SearchMatch`` list per query, counted into
     ``stats.num_results`` — shared by every batch searcher (like
@@ -84,7 +88,7 @@ def wrap_batch_matches(raw: Sequence[Sequence[tuple[StringRecord, int]]],
 
 @dataclass(frozen=True, slots=True, order=True)
 class SearchMatch:
-    """One search hit: the indexed record's id, text, and edit distance."""
+    """One search hit: the indexed record's id, text, and distance."""
 
     distance: int
     id: int
@@ -124,7 +128,7 @@ class SearchMatch:
 
 
 class PassJoinSearcher:
-    """Approximate string search over a fixed collection.
+    """Approximate similarity search over a fixed collection.
 
     Parameters
     ----------
@@ -132,16 +136,23 @@ class PassJoinSearcher:
         The collection to index (plain strings or
         :class:`~repro.types.StringRecord` objects with caller-chosen ids).
     max_tau:
-        Largest edit-distance threshold any future query may use.  Larger
-        values make the index bigger (more segments per string) and
-        individual queries slightly slower, but allow looser searches.
+        Largest threshold any future query may use, under the kernel's
+        semantics.  Larger values make the index bigger (more signatures
+        per string) and individual queries slightly slower, but allow
+        looser searches.
     partition:
-        Partition strategy (the paper's even scheme by default).
+        Partition strategy for the edit-distance kernel (the paper's even
+        scheme by default).
     verification:
-        Verification kernel used to check candidates (a
-        :class:`~repro.config.VerificationMethod` or its string name).
-        Defaults to the extension verifier; ``"myers-batch"`` pays off on
-        verification-heavy workloads with long shared inverted lists.
+        Verification kernel used by the edit-distance kernel to check
+        candidates (a :class:`~repro.config.VerificationMethod` or its
+        string name).  Defaults to the extension verifier;
+        ``"myers-batch"`` pays off on verification-heavy workloads with
+        long shared inverted lists.
+    kernel:
+        Similarity kernel — a registered name or a
+        :class:`~repro.core.kernel.SimilarityKernel` instance; defaults
+        to ``edit-distance``.
 
     Examples
     --------
@@ -153,25 +164,23 @@ class PassJoinSearcher:
     def __init__(self, strings: Iterable[str | StringRecord], max_tau: int,
                  partition: PartitionStrategy = PartitionStrategy.EVEN,
                  verification: VerificationMethod | str =
-                 VerificationMethod.EXTENSION) -> None:
-        self.max_tau = validate_threshold(max_tau)
+                 VerificationMethod.EXTENSION,
+                 kernel: str | SimilarityKernel | None = None) -> None:
+        self.kernel = resolve_kernel(kernel)
+        self.max_tau = self.kernel.validate_tau(max_tau)
         self.verification = (verification
                             if isinstance(verification, VerificationMethod)
                             else VerificationMethod(str(verification)))
         self.statistics = JoinStatistics()
         self._records = as_records(strings)
         self.statistics.num_strings = len(self._records)
-        self._index = SegmentIndex(self.max_tau, partition)
-        self._short_pool: list[StringRecord] = []
-        self._selector = MultiMatchAwareSelector(self.max_tau)
+        self._backend = self.kernel.make_backend(
+            self.max_tau, partition=partition, verification=self.verification,
+            seed=self._records, keep_sorted=False)
         for record in sorted(self._records, key=lambda r: (r.length, r.text)):
-            if can_partition(record.length, self.max_tau):
-                self._index.add(record)
-                self.statistics.num_indexed_segments += self.max_tau + 1
-            else:
-                self._short_pool.append(record)
-        self.statistics.index_entries = self._index.current_entry_count
-        self.statistics.index_bytes = self._index.current_approximate_bytes
+            self.statistics.num_indexed_segments += self._backend.add(record)
+        self.statistics.index_entries = self._backend.entry_count()
+        self.statistics.index_bytes = self._backend.approximate_bytes()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -182,6 +191,21 @@ class PassJoinSearcher:
         """The indexed records (in their original order)."""
         return self._records
 
+    @property
+    def _index(self):
+        """The backend's signature index (edit-distance kernel only)."""
+        return self._backend.index
+
+    @property
+    def _short_pool(self) -> list[StringRecord]:
+        """Records the kernel cannot index (too short; token-less)."""
+        return list(self._backend.short_pool.values())
+
+    @property
+    def _selector(self):
+        """The backend's substring selector (edit-distance kernel only)."""
+        return self._backend.selector
+
     # ------------------------------------------------------------------
     def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
         """Return every indexed string within ``tau`` of ``query``.
@@ -189,16 +213,11 @@ class PassJoinSearcher:
         ``tau`` defaults to the index's ``max_tau`` and must not exceed it.
         Results are sorted by (distance, id).
         """
-        tau = self.max_tau if tau is None else validate_threshold(tau)
+        tau = self.max_tau if tau is None else self.kernel.validate_tau(tau)
         if tau > self.max_tau:
             raise InvalidThresholdError(tau)
         stats = self.statistics
-        verifier = make_verifier(self.verification, tau, stats)
-        probe = StringRecord(id=-1, text=query)
-        matches = probe_record(
-            probe, tau=tau, index=self._index, short_pool=self._short_pool,
-            selector=self._selector, verifier=verifier, stats=stats,
-            max_length=len(query) + tau, allow_same_id=True)
+        matches = self._backend.probe(query, tau, stats=stats)
         found = sorted((SearchMatch(distance, record.id, record.text)
                         for record, distance in matches),
                        key=SearchMatch.sort_key)
@@ -218,18 +237,15 @@ class PassJoinSearcher:
         ``funnel.accepted`` always equals ``num_matches``, which equals
         what :meth:`search` returns for the same arguments.
         """
-        tau = self.max_tau if tau is None else validate_threshold(tau)
+        tau = self.max_tau if tau is None else self.kernel.validate_tau(tau)
         if tau > self.max_tau:
             raise InvalidThresholdError(tau)
         stats = JoinStatistics()
-        verifier = make_verifier(self.verification, tau, stats)
+        verifier = self._backend.new_verifier(tau, stats)
         trace = ProbeTrace()
-        probe = StringRecord(id=-1, text=query)
         started = time.perf_counter()
-        raw = probe_record(
-            probe, tau=tau, index=self._index, short_pool=self._short_pool,
-            selector=self._selector, verifier=verifier, stats=stats,
-            max_length=len(query) + tau, allow_same_id=True, trace=trace)
+        raw = self._backend.probe(query, tau, stats=stats, trace=trace,
+                                  verifier=verifier)
         total_seconds = time.perf_counter() - started
         matches = sorted((SearchMatch(distance, record.id, record.text)
                           for record, distance in raw),
@@ -240,6 +256,7 @@ class PassJoinSearcher:
 
     def search_many(self, queries: Sequence[str],
                     tau: int | Sequence[int | None] | None = None,
+                    kernel: "str | Sequence[str | None] | None" = None,
                     ) -> list[list[SearchMatch]]:
         """Answer a batch of queries in one grouped index pass.
 
@@ -247,18 +264,18 @@ class PassJoinSearcher:
         per-query thresholds (``None`` entries default to ``max_tau``).
         Returns one result list per query, aligned with ``queries`` — each
         element-identical to what :meth:`search` returns for that query,
-        but duplicates in the batch are executed once and queries of the
-        same length share one selection-window computation per indexed
-        length (see :func:`repro.core.engine.probe_many`).
+        but duplicates in the batch are executed once and (for the
+        edit-distance kernel) queries of the same length share one
+        selection-window computation per indexed length (see
+        :func:`repro.core.engine.probe_many`).  ``kernel`` (scalar or
+        per-query) must name this searcher's kernel; a batch naming two
+        different kernels is rejected (see
+        :func:`repro.service.dynamic.check_batch_kernels`).
         """
+        check_batch_kernels(self.kernel, kernel)
         taus = resolve_query_taus(queries, tau, self.max_tau)
         stats = self.statistics
-        raw = probe_many(
-            list(zip(queries, taus)), index=self._index,
-            short_pool=self._short_pool, selector=self._selector,
-            verifier_factory=lambda group_tau: make_verifier(
-                self.verification, group_tau, stats),
-            stats=stats)
+        raw = self._backend.probe_many(list(zip(queries, taus)), stats=stats)
         return wrap_batch_matches(raw, stats)
 
     # ------------------------------------------------------------------
@@ -275,8 +292,8 @@ class PassJoinSearcher:
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        limit = self.max_tau if max_tau is None else min(validate_threshold(max_tau),
-                                                         self.max_tau)
+        limit = self.max_tau if max_tau is None else min(
+            self.kernel.validate_tau(max_tau), self.max_tau)
         best: list[SearchMatch] = []
         for tau in range(0, limit + 1):
             best = self.search(query, tau)

@@ -90,25 +90,34 @@ class _RequestMixin:
     """
 
     @staticmethod
-    def _search_payload(query: str, tau: int | None) -> dict:
+    def _search_payload(query: str, tau: int | None,
+                        kernel: str | None = None) -> dict:
         payload: dict = {"op": "search", "query": query}
         if tau is not None:
             payload["tau"] = tau
+        if kernel is not None:
+            payload["kernel"] = kernel
         return payload
 
     @staticmethod
-    def _top_k_payload(query: str, k: int, max_tau: int | None) -> dict:
+    def _top_k_payload(query: str, k: int, max_tau: int | None,
+                       kernel: str | None = None) -> dict:
         payload: dict = {"op": "top-k", "query": query, "k": k}
         if max_tau is not None:
             payload["max_tau"] = max_tau
+        if kernel is not None:
+            payload["kernel"] = kernel
         return payload
 
     @staticmethod
     def _search_batch_payload(queries: Sequence[str],
-                              tau: int | None) -> dict:
+                              tau: int | None,
+                              kernel: str | None = None) -> dict:
         payload: dict = {"op": "search-batch", "queries": list(queries)}
         if tau is not None:
             payload["tau"] = tau
+        if kernel is not None:
+            payload["kernel"] = kernel
         return payload
 
     @staticmethod
@@ -119,10 +128,13 @@ class _RequestMixin:
         return payload
 
     @staticmethod
-    def _explain_payload(query: str, tau: int | None) -> dict:
+    def _explain_payload(query: str, tau: int | None,
+                         kernel: str | None = None) -> dict:
         payload: dict = {"op": "explain", "query": query}
         if tau is not None:
             payload["tau"] = tau
+        if kernel is not None:
+            payload["kernel"] = kernel
         return payload
 
 
@@ -171,22 +183,29 @@ class ServiceClient(_RequestMixin):
         return _decode(line)
 
     # ------------------------------------------------------------------
-    def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
-        return _parse_matches(self.request(self._search_payload(query, tau)))
+    def search(self, query: str, tau: int | None = None, *,
+               kernel: str | None = None) -> list[SearchMatch]:
+        """Search; ``kernel`` (optional) asserts which kernel must serve it."""
+        return _parse_matches(
+            self.request(self._search_payload(query, tau, kernel)))
 
     def search_batch(self, queries: Sequence[str],
-                     tau: int | None = None) -> list[list[SearchMatch]]:
+                     tau: int | None = None, *,
+                     kernel: str | None = None) -> list[list[SearchMatch]]:
         """Answer many queries with one ``search-batch`` request line.
 
         Returns one result list per query, aligned with ``queries`` — the
         server answers the whole batch with a single grouped index pass.
+        A whole batch targets one kernel; pass ``kernel`` to assert it.
         """
-        return _parse_batch(self.request(self._search_batch_payload(queries,
-                                                                    tau)))
+        return _parse_batch(
+            self.request(self._search_batch_payload(queries, tau, kernel)))
 
     def top_k(self, query: str, k: int,
-              max_tau: int | None = None) -> list[SearchMatch]:
-        return _parse_matches(self.request(self._top_k_payload(query, k, max_tau)))
+              max_tau: int | None = None, *,
+              kernel: str | None = None) -> list[SearchMatch]:
+        return _parse_matches(
+            self.request(self._top_k_payload(query, k, max_tau, kernel)))
 
     def insert(self, text: str, *, id: int | None = None) -> int:
         return self.request(self._insert_payload(text, id))["id"]
@@ -210,7 +229,17 @@ class ServiceClient(_RequestMixin):
         """
         return self.request({"op": "metrics"})
 
-    def explain(self, query: str, tau: int | None = None) -> dict:
+    def kernels(self) -> dict:
+        """The server's similarity-kernel catalogue (the ``kernels`` op).
+
+        The response carries ``serving`` (the kernel name this service is
+        configured with) and ``kernels`` (one descriptor per registered
+        kernel: name, threshold semantics, partition-key definition).
+        """
+        return self.request({"op": "kernels"})
+
+    def explain(self, query: str, tau: int | None = None, *,
+                kernel: str | None = None) -> dict:
         """Run one traced probe on the server; return the explain report.
 
         The report's per-stage funnel, per-length breakdown, verifier
@@ -219,7 +248,7 @@ class ServiceClient(_RequestMixin):
         the same, as dicts (see :meth:`PassJoinSearcher.explain
         <repro.search.searcher.PassJoinSearcher.explain>`).
         """
-        return self.request(self._explain_payload(query, tau))["explain"]
+        return self.request(self._explain_payload(query, tau, kernel))["explain"]
 
     def add_shard(self) -> dict:
         """Grow the server's shard fleet by one; return the rebalance status.
@@ -311,20 +340,25 @@ class AsyncServiceClient(_RequestMixin):
             return _decode(line)
 
     # ------------------------------------------------------------------
-    async def search(self, query: str,
-                     tau: int | None = None) -> list[SearchMatch]:
-        return _parse_matches(await self.request(self._search_payload(query, tau)))
+    async def search(self, query: str, tau: int | None = None, *,
+                     kernel: str | None = None) -> list[SearchMatch]:
+        return _parse_matches(
+            await self.request(self._search_payload(query, tau, kernel)))
 
     async def search_batch(self, queries: Sequence[str],
-                           tau: int | None = None) -> list[list[SearchMatch]]:
+                           tau: int | None = None, *,
+                           kernel: str | None = None
+                           ) -> list[list[SearchMatch]]:
         """Async counterpart of :meth:`ServiceClient.search_batch`."""
         return _parse_batch(
-            await self.request(self._search_batch_payload(queries, tau)))
+            await self.request(self._search_batch_payload(queries, tau,
+                                                          kernel)))
 
     async def top_k(self, query: str, k: int,
-                    max_tau: int | None = None) -> list[SearchMatch]:
+                    max_tau: int | None = None, *,
+                    kernel: str | None = None) -> list[SearchMatch]:
         return _parse_matches(
-            await self.request(self._top_k_payload(query, k, max_tau)))
+            await self.request(self._top_k_payload(query, k, max_tau, kernel)))
 
     async def insert(self, text: str, *, id: int | None = None) -> int:
         return (await self.request(self._insert_payload(text, id)))["id"]
@@ -342,9 +376,15 @@ class AsyncServiceClient(_RequestMixin):
         """Async counterpart of :meth:`ServiceClient.metrics`."""
         return await self.request({"op": "metrics"})
 
-    async def explain(self, query: str, tau: int | None = None) -> dict:
+    async def kernels(self) -> dict:
+        """Async counterpart of :meth:`ServiceClient.kernels`."""
+        return await self.request({"op": "kernels"})
+
+    async def explain(self, query: str, tau: int | None = None, *,
+                      kernel: str | None = None) -> dict:
         """Async counterpart of :meth:`ServiceClient.explain`."""
-        return (await self.request(self._explain_payload(query, tau)))["explain"]
+        return (await self.request(
+            self._explain_payload(query, tau, kernel)))["explain"]
 
     async def add_shard(self) -> dict:
         """Async counterpart of :meth:`ServiceClient.add_shard`."""

@@ -1,31 +1,33 @@
-"""A mutable build-once index: Pass-Join search over a living collection.
+"""A mutable build-once index: kernel search over a living collection.
 
 :class:`DynamicSearcher` is the online counterpart of
-:class:`~repro.search.searcher.PassJoinSearcher`: the same segment index and
-filter-and-verify pipeline, but the collection may change between queries.
+:class:`~repro.search.searcher.PassJoinSearcher`: the same signature index
+and filter-and-verify pipeline — for whichever
+:class:`~repro.core.kernel.SimilarityKernel` it serves — but the collection
+may change between queries.
 
-* :meth:`~DynamicSearcher.insert` partitions the new string and places its
-  segments at their *sorted* positions in the inverted lists, so the
-  alphabetical-posting invariant the share-prefix verifier exploits keeps
-  holding under arbitrary insertions (results never depended on posting
-  order — they are deduplicated by id and sorted by ``(distance, id)`` —
-  but the invariant keeps every verifier, present and future, usable on a
-  mutated index).
+* :meth:`~DynamicSearcher.insert` generates the new record's signatures and
+  places them at their *sorted* positions in the inverted lists (for the
+  edit-distance kernel's segment index), so the alphabetical-posting
+  invariant the share-prefix verifier exploits keeps holding under
+  arbitrary insertions (results never depended on posting order — they are
+  deduplicated by id and sorted by ``(distance, id)`` — but the invariant
+  keeps every verifier, present and future, usable on a mutated index).
 * :meth:`~DynamicSearcher.delete` is a **tombstone**: the record's postings
   stay in the index but every search filters its id out, which makes
   deletion O(1).  Once ``compact_interval`` tombstones accumulate,
-  :meth:`~DynamicSearcher.compact` physically purges them via
-  :meth:`~repro.core.index.SegmentIndex.remove` (deletion cost is amortised
-  and the index never drifts far from the fresh-build footprint).
+  :meth:`~DynamicSearcher.compact` physically purges them via the
+  backend's ``remove_indexed`` (deletion cost is amortised and the index
+  never drifts far from the fresh-build footprint).
 
 Every mutation bumps :attr:`~DynamicSearcher.epoch`, the invalidation token
 consumed by :class:`~repro.service.cache.QueryCache`.
 
 Exactness: search and top-k results are identical — element for element —
 to re-building a fresh ``PassJoinSearcher`` over the surviving records,
-because both run the same selector/verifier over the same logical
-collection and the result ordering is canonical.  The property-based test
-suite asserts this equivalence on random interleavings.
+because both run the same kernel backend over the same logical collection
+and the result ordering is canonical.  The property-based test suite
+asserts this equivalence on random interleavings, for both kernels.
 """
 
 from __future__ import annotations
@@ -33,12 +35,9 @@ from __future__ import annotations
 import time
 from typing import Any, Iterable, Sequence
 
-from ..config import PartitionStrategy, validate_threshold
-from ..core.engine import probe_many, probe_record
-from ..core.index import SegmentIndex
-from ..core.partition import can_partition
-from ..core.selection import MultiMatchAwareSelector
-from ..core.verify import ExtensionVerifier
+from ..config import PartitionStrategy
+from ..core.kernel import (SimilarityKernel, check_batch_kernels,
+                           resolve_kernel)
 from ..exceptions import InvalidThresholdError
 from ..obs.trace import ProbeTrace, build_explain_report
 from ..search.searcher import (SearchMatch, resolve_query_taus,
@@ -61,7 +60,7 @@ def coerce_insert_record(text: str | StringRecord, id: int | None,
 
 
 class DynamicSearcher:
-    """Approximate string search over a mutable collection.
+    """Approximate similarity search over a mutable collection.
 
     Parameters
     ----------
@@ -71,13 +70,19 @@ class DynamicSearcher:
         ids must be unique — a duplicate raises ``ValueError``, as it
         would leave one record's postings behind as a searchable ghost).
     max_tau:
-        Largest edit-distance threshold any query may use.
+        Largest threshold any query may use, under the kernel's
+        semantics (edit distance; scaled Jaccard distance).
     partition:
-        Partition strategy (the paper's even scheme by default).
+        Partition strategy for the edit-distance kernel (the paper's even
+        scheme by default; other kernels reject non-default values).
     compact_interval:
         Tombstone budget: once this many deleted records are still
         physically present in the index, the next mutation compacts.
         ``0`` compacts on every delete.
+    kernel:
+        Similarity kernel to serve — a registered name or a
+        :class:`~repro.core.kernel.SimilarityKernel` instance; defaults
+        to ``edit-distance``.
 
     Examples
     --------
@@ -94,26 +99,28 @@ class DynamicSearcher:
 
     def __init__(self, strings: Iterable[str | StringRecord] = (), *,
                  max_tau: int, partition: PartitionStrategy = PartitionStrategy.EVEN,
-                 compact_interval: int = 64) -> None:
-        self.max_tau = validate_threshold(max_tau)
+                 compact_interval: int = 64,
+                 kernel: str | SimilarityKernel | None = None) -> None:
+        self.kernel = resolve_kernel(kernel)
+        self.max_tau = self.kernel.validate_tau(max_tau)
         if (isinstance(compact_interval, bool)
                 or not isinstance(compact_interval, int) or compact_interval < 0):
             raise ValueError(f"compact_interval must be a non-negative integer, "
                              f"got {compact_interval!r}")
         self.compact_interval = compact_interval
         self.statistics = JoinStatistics()
-        self._index = SegmentIndex(self.max_tau, partition)
-        self._selector = MultiMatchAwareSelector(self.max_tau)
+        records = as_records(strings)
+        self._backend = self.kernel.make_backend(
+            self.max_tau, partition=partition, seed=records)
         self._live: dict[int, StringRecord] = {}
-        self._short_pool: dict[int, StringRecord] = {}
-        # live text length -> number of live records of that length (lets
-        # top-k widening skip thresholds no live string can possibly meet).
+        # live partition key -> number of live records with that key (lets
+        # top-k widening skip thresholds no live record can possibly meet).
         self._length_counts: dict[int, int] = {}
-        # id -> record still present in the segment index but logically gone.
+        # id -> record still present in the signature index but logically gone.
         self._tombstones: dict[int, StringRecord] = {}
         self._epoch = 0
         self._next_id = 0
-        for record in as_records(strings):
+        for record in records:
             if record.id in self._live:
                 # A duplicate would leave the loser's postings (and short-
                 # pool/length bookkeeping) behind as a searchable ghost.
@@ -149,6 +156,21 @@ class DynamicSearcher:
         """The live records, ordered by id (a snapshot, safe to mutate)."""
         return [self._live[record_id] for record_id in sorted(self._live)]
 
+    @property
+    def _index(self):
+        """The backend's signature index (edit-distance kernel only)."""
+        return self._backend.index
+
+    @property
+    def _short_pool(self) -> dict[int, StringRecord]:
+        """Records the kernel cannot index (too short; token-less)."""
+        return self._backend.short_pool
+
+    @property
+    def _selector(self):
+        """The backend's substring selector (edit-distance kernel only)."""
+        return self._backend.selector
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -166,7 +188,7 @@ class DynamicSearcher:
             raise ValueError(f"id {record.id} is already in the collection")
         stale = self._tombstones.pop(record.id, None)
         if stale is not None:
-            self._index.remove(stale)
+            self._backend.remove_indexed(stale)
         self._insert_record(record)
         self.statistics.num_strings += 1
         self._bump()
@@ -196,19 +218,20 @@ class DynamicSearcher:
         record = self._live.pop(record_id, None)
         if record is None:
             return False
-        if self._short_pool.pop(record_id, None) is None:
+        if not self._backend.unpool(record_id):
             self._tombstones[record_id] = record
-        remaining = self._length_counts.get(record.length, 0) - 1
+        key = self.kernel.record_key(record.text)
+        remaining = self._length_counts.get(key, 0) - 1
         if remaining > 0:
-            self._length_counts[record.length] = remaining
+            self._length_counts[key] = remaining
         else:
-            self._length_counts.pop(record.length, None)
+            self._length_counts.pop(key, None)
         self.statistics.num_strings -= 1
         self._bump()
         return True
 
     def compact(self) -> int:
-        """Purge every tombstone from the segment index; return the count.
+        """Purge every tombstone from the signature index; return the count.
 
         After compaction the index holds exactly the postings a fresh build
         over the live records would (posting order aside), so memory does
@@ -219,33 +242,29 @@ class DynamicSearcher:
         """
         purged = len(self._tombstones)
         for record in self._tombstones.values():
-            self._index.remove(record)
+            self._backend.remove_indexed(record)
         self._tombstones.clear()
         if purged:
             self._epoch += 1
-        self.statistics.index_entries = self._index.current_entry_count
-        self.statistics.index_bytes = self._index.current_approximate_bytes
+        self.statistics.index_entries = self._backend.entry_count()
+        self.statistics.index_bytes = self._backend.approximate_bytes()
         return purged
 
     def _insert_record(self, record: StringRecord) -> None:
-        if can_partition(record.length, self.max_tau):
-            self._index.add(record, keep_sorted=True)
-            self.statistics.num_indexed_segments += self.max_tau + 1
-        else:
-            self._short_pool[record.id] = record
+        self.statistics.num_indexed_segments += self._backend.add(record)
         self._live[record.id] = record
-        self._length_counts[record.length] = (
-            self._length_counts.get(record.length, 0) + 1)
+        key = self.kernel.record_key(record.text)
+        self._length_counts[key] = self._length_counts.get(key, 0) + 1
         self._next_id = max(self._next_id, record.id + 1)
-        self.statistics.index_entries = self._index.current_entry_count
-        self.statistics.index_bytes = self._index.current_approximate_bytes
+        self.statistics.index_entries = self._backend.entry_count()
+        self.statistics.index_bytes = self._backend.approximate_bytes()
 
     def _bump(self) -> None:
         self._epoch += 1
         if len(self._tombstones) > self.compact_interval:
             self.compact()
-        self.statistics.index_entries = self._index.current_entry_count
-        self.statistics.index_bytes = self._index.current_approximate_bytes
+        self.statistics.index_entries = self._backend.entry_count()
+        self.statistics.index_bytes = self._backend.approximate_bytes()
 
     # ------------------------------------------------------------------
     # Queries
@@ -258,7 +277,7 @@ class DynamicSearcher:
         :class:`~repro.search.searcher.PassJoinSearcher` over the live
         records.
         """
-        tau = self.max_tau if tau is None else validate_threshold(tau)
+        tau = self.max_tau if tau is None else self.kernel.validate_tau(tau)
         if tau > self.max_tau:
             raise InvalidThresholdError(tau)
         found = self._search(query, tau)
@@ -275,8 +294,6 @@ class DynamicSearcher:
         hits are never verified again.
         """
         stats = self.statistics
-        verifier = ExtensionVerifier(tau, stats)
-        probe = StringRecord(id=-1, text=query)
         tombstones = self._tombstones
         accept = None
         if tombstones or exclude:
@@ -284,11 +301,7 @@ class DynamicSearcher:
                 if record_id in tombstones:
                     return False
                 return exclude is None or record_id not in exclude
-        matches = probe_record(
-            probe, tau=tau, index=self._index,
-            short_pool=list(self._short_pool.values()),
-            selector=self._selector, verifier=verifier, stats=stats,
-            max_length=len(query) + tau, allow_same_id=True, accept=accept)
+        matches = self._backend.probe(query, tau, stats=stats, accept=accept)
         return sorted((SearchMatch(distance, record.id, record.text)
                        for record, distance in matches),
                       key=SearchMatch.sort_key)
@@ -305,25 +318,20 @@ class DynamicSearcher:
         exact per-query delta.  ``funnel.accepted`` equals ``num_matches``,
         which equals what :meth:`search` returns for the same arguments.
         """
-        tau = self.max_tau if tau is None else validate_threshold(tau)
+        tau = self.max_tau if tau is None else self.kernel.validate_tau(tau)
         if tau > self.max_tau:
             raise InvalidThresholdError(tau)
         stats = JoinStatistics()
-        verifier = ExtensionVerifier(tau, stats)
+        verifier = self._backend.new_verifier(tau, stats)
         trace = ProbeTrace()
-        probe = StringRecord(id=-1, text=query)
         tombstones = self._tombstones
         accept = None
         if tombstones:
             def accept(record_id: int) -> bool:
                 return record_id not in tombstones
         started = time.perf_counter()
-        raw = probe_record(
-            probe, tau=tau, index=self._index,
-            short_pool=list(self._short_pool.values()),
-            selector=self._selector, verifier=verifier, stats=stats,
-            max_length=len(query) + tau, allow_same_id=True, accept=accept,
-            trace=trace)
+        raw = self._backend.probe(query, tau, stats=stats, accept=accept,
+                                  trace=trace, verifier=verifier)
         total_seconds = time.perf_counter() - started
         matches = sorted((SearchMatch(distance, record.id, record.text)
                           for record, distance in raw),
@@ -334,6 +342,7 @@ class DynamicSearcher:
 
     def search_many(self, queries: Sequence[str],
                     tau: int | Sequence[int | None] | None = None,
+                    kernel: "str | Sequence[str | None] | None" = None,
                     ) -> list[list[SearchMatch]]:
         """Answer a batch of queries in one grouped index pass.
 
@@ -343,8 +352,12 @@ class DynamicSearcher:
         scalar for the whole batch or a per-query sequence, duplicates are
         executed once, same-length queries share their selection windows,
         and every result list is element-identical to a :meth:`search`
-        call over the same live collection.
+        call over the same live collection.  ``kernel`` (scalar or
+        per-query) must name the served kernel; a batch naming two
+        different kernels is rejected outright (see
+        :func:`check_batch_kernels`).
         """
+        check_batch_kernels(self.kernel, kernel)
         taus = resolve_query_taus(queries, tau, self.max_tau)
         stats = self.statistics
         tombstones = self._tombstones
@@ -352,32 +365,27 @@ class DynamicSearcher:
         if tombstones:
             def accept(record_id: int) -> bool:
                 return record_id not in tombstones
-        raw = probe_many(
-            list(zip(queries, taus)), index=self._index,
-            short_pool=list(self._short_pool.values()),
-            selector=self._selector,
-            verifier_factory=lambda group_tau: ExtensionVerifier(group_tau,
-                                                                 stats),
-            stats=stats, accept=accept)
+        raw = self._backend.probe_many(
+            list(zip(queries, taus)), stats=stats, accept=accept)
         return wrap_batch_matches(raw, stats)
 
     def index_memory(self) -> dict[str, int]:
-        """Memory figures of the columnar index (the ``stats`` op payload).
+        """Memory figures of the signature index (the ``stats`` op payload).
 
         ``records`` counts live store rows — tombstoned records remain
         until compaction purges them; ``approximate_bytes`` covers the
-        inverted lists plus the record columns (see
-        :meth:`SegmentIndex.memory_report
-        <repro.core.index.SegmentIndex.memory_report>`).
+        inverted lists plus the record columns (see the backend's
+        ``memory_report``).
         """
-        return self._index.memory_report()
+        return self._backend.memory_report()
 
-    def _any_live_length_within(self, query_length: int, tau: int) -> bool:
-        """True when some live record passes the length filter at ``tau``."""
+    def _any_live_length_within(self, query: str, tau: int) -> bool:
+        """True when some live record passes the partition-key filter."""
         counts = self._length_counts
-        return any(length in counts
-                   for length in range(max(0, query_length - tau),
-                                       query_length + tau + 1))
+        lo, hi = self.kernel.probe_key_range(query, tau)
+        if hi - lo + 1 > len(counts):
+            return any(lo <= key <= hi for key in counts)
+        return any(key in counts for key in range(lo, hi + 1))
 
     def search_top_k(self, query: str, k: int,
                      max_tau: int | None = None) -> list[SearchMatch]:
@@ -395,13 +403,12 @@ class DynamicSearcher:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         limit = self.max_tau if max_tau is None else min(
-            validate_threshold(max_tau), self.max_tau)
+            self.kernel.validate_tau(max_tau), self.max_tau)
         found: dict[int, SearchMatch] = {}
-        query_length = len(query)
         for tau in range(0, limit + 1):
             if len(found) >= k or len(found) == len(self._live):
                 break
-            if not self._any_live_length_within(query_length, tau):
+            if not self._any_live_length_within(query, tau):
                 continue
             for match in self._search(query, tau, exclude=found):
                 found[match.id] = match
@@ -412,4 +419,4 @@ class DynamicSearcher:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"DynamicSearcher(live={len(self._live)}, "
                 f"tombstones={len(self._tombstones)}, epoch={self._epoch}, "
-                f"max_tau={self.max_tau})")
+                f"kernel={self.kernel.name!r}, max_tau={self.max_tau})")

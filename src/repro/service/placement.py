@@ -83,12 +83,35 @@ class PlacementMap:
         self.max_tau = max_tau
 
     def place(self, record_id: int, length: int) -> int:
-        """Owning shard of a record (pure in ``record_id`` and ``length``)."""
+        """Owning shard of a record (pure in ``record_id`` and ``length``).
+
+        ``length`` is the record's *partition key* under the served
+        similarity kernel — the character length for edit distance, the
+        token-set size for token-jaccard (the parameter keeps its
+        historical name; any non-negative integer key works).
+        """
+        raise NotImplementedError
+
+    def probe_key_span(self, lo: int, hi: int) -> tuple[int, ...]:
+        """Shards holding records whose partition key lies in ``[lo, hi]``.
+
+        The kernel computes the inclusive key window a query can match
+        (:meth:`SimilarityKernel.probe_key_range
+        <repro.core.kernel.SimilarityKernel.probe_key_range>`); the map
+        answers which shards own any key in it — a superset of
+        :meth:`place` over every key in the window (the soundness
+        contract the test suite checks for every map).
+        """
         raise NotImplementedError
 
     def probe_shards(self, query_length: int, tau: int) -> tuple[int, ...]:
-        """Shards a query of ``query_length`` at ``tau`` may find matches in."""
-        raise NotImplementedError
+        """Shards a query of ``query_length`` at ``tau`` may find matches in.
+
+        Edit-distance convenience wrapper over :meth:`probe_key_span`
+        (the key window of an ED probe is ``[|q| − τ, |q| + τ]``).
+        """
+        return self.probe_key_span(max(0, query_length - tau),
+                                   query_length + tau)
 
     def resized(self, shards: int) -> "PlacementMap":
         """The same kind of map over a fleet of ``shards`` workers."""
@@ -133,7 +156,7 @@ class ConsistentHashPlacementMap(PlacementMap):
             position = 0
         return self._owners[position]
 
-    def probe_shards(self, query_length: int, tau: int) -> tuple[int, ...]:
+    def probe_key_span(self, lo: int, hi: int) -> tuple[int, ...]:
         return tuple(range(self.num_shards))
 
 
@@ -159,9 +182,9 @@ class LengthBandPlacementMap(PlacementMap):
     def place(self, record_id: int, length: int) -> int:
         return (length // self.band_width) % self.num_shards
 
-    def probe_shards(self, query_length: int, tau: int) -> tuple[int, ...]:
-        first = max(0, query_length - tau) // self.band_width
-        last = (query_length + tau) // self.band_width
+    def probe_key_span(self, lo: int, hi: int) -> tuple[int, ...]:
+        first = max(0, lo) // self.band_width
+        last = max(0, hi) // self.band_width
         if last - first + 1 >= self.num_shards:
             return tuple(range(self.num_shards))
         return tuple(sorted({band % self.num_shards
@@ -182,7 +205,7 @@ class ModuloPlacementMap(PlacementMap):
     def place(self, record_id: int, length: int) -> int:
         return record_id % self.num_shards
 
-    def probe_shards(self, query_length: int, tau: int) -> tuple[int, ...]:
+    def probe_key_span(self, lo: int, hi: int) -> tuple[int, ...]:
         return tuple(range(self.num_shards))
 
 

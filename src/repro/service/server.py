@@ -49,6 +49,8 @@ import time
 from typing import Callable, Iterable, Sequence
 
 from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig, validate_threshold
+from ..core.kernel import (check_batch_kernels, check_kernel_match,
+                           describe_kernels)
 from ..exceptions import InvalidThresholdError, ServiceError
 from ..obs.metrics import MetricsRegistry, funnel_snapshot, merge_snapshots
 from ..obs.slowlog import log_slow_query
@@ -71,7 +73,7 @@ RESHARD_OPS = ("add-shard", "remove-shard")
 #: Every operation the service understands.
 ALL_OPS = QUERY_OPS + (BATCH_OP,) + RESHARD_OPS + (
     "rebalance-status", "insert", "delete", "compact", "stats", "metrics",
-    "explain", "ping", "shutdown")
+    "explain", "kernels", "ping", "shutdown")
 
 #: Query keys are tuples: ("search", query, tau) or ("top-k", query, k, limit).
 QueryKey = tuple
@@ -127,11 +129,13 @@ class SimilarityService:
                 partition=config.partition,
                 compact_interval=config.compact_interval,
                 policy=config.shard_policy, backend=config.shard_backend,
-                migration_batch=config.migration_batch)
+                migration_batch=config.migration_batch,
+                kernel=config.kernel)
         else:
             self.searcher = DynamicSearcher(
                 strings, max_tau=config.max_tau, partition=config.partition,
-                compact_interval=config.compact_interval)
+                compact_interval=config.compact_interval,
+                kernel=config.kernel)
         self.cache = QueryCache(config.cache_capacity)
         self.queries_served = 0
         # Service-level telemetry: per-op request/error counters and
@@ -162,6 +166,7 @@ class SimilarityService:
         shares an execution with.
         """
         op = payload.get("op")
+        self._check_kernel_field(payload)
         query = _require_str(payload, "query")
         if op == "search":
             tau = payload.get("tau")
@@ -177,6 +182,23 @@ class SimilarityService:
             return ("top-k", query, k, limit)
         raise ValueError(f"not a query op: {op!r}")
 
+    def _check_kernel_field(self, payload: dict) -> None:
+        """Validate an optional ``kernel`` request field.
+
+        A request may name the kernel it expects; naming any kernel other
+        than the one this server serves is rejected (one server, one
+        kernel — the ``kernels`` op tells clients which).  The field never
+        reaches the query key: within one service it is an assertion, not
+        a parameter.
+        """
+        requested = payload.get("kernel")
+        if requested is None:
+            return
+        if not isinstance(requested, str):
+            raise ValueError(
+                f"field 'kernel' must be a string, got {requested!r}")
+        check_kernel_match(self.searcher.kernel, requested)
+
     def build_batch_keys(self, payload: dict) -> list[QueryKey]:
         """Validate a ``search-batch`` request into per-query search keys.
 
@@ -185,6 +207,12 @@ class SimilarityService:
         :attr:`~repro.config.ServiceConfig.max_query_batch` so one request
         line cannot monopolise the server.  Validation happens before the
         keys reach the batcher, mirroring :meth:`build_query_key`.
+
+        Kernel fields follow the pinned mixed-batch semantics of
+        :func:`~repro.core.kernel.check_batch_kernels`: a scalar
+        ``kernel`` (or a per-query ``kernels`` list) must name the served
+        kernel, and a ``kernels`` list naming two different kernels is
+        rejected outright — the whole batch fails before any query runs.
         """
         queries = payload.get("queries")
         if (not isinstance(queries, list)
@@ -195,6 +223,18 @@ class SimilarityService:
         if limit and len(queries) > limit:
             raise ValueError(f"batch of {len(queries)} queries exceeds "
                              f"max_query_batch={limit}")
+        self._check_kernel_field(payload)
+        kernels = payload.get("kernels")
+        if kernels is not None:
+            if (not isinstance(kernels, list)
+                    or not all(name is None or isinstance(name, str)
+                               for name in kernels)):
+                raise ValueError(f"field 'kernels' must be a list of kernel "
+                                 f"names, got {kernels!r}")
+            if len(kernels) != len(queries):
+                raise ValueError(f"got {len(queries)} queries but "
+                                 f"{len(kernels)} kernel names")
+            check_batch_kernels(self.searcher.kernel, kernels)
         tau = payload.get("tau")
         return [self.build_query_key({"op": "search", "query": query,
                                       "tau": tau})
@@ -352,9 +392,15 @@ class SimilarityService:
             if op == "metrics":
                 return self.metrics_payload()
             if op == "explain":
+                self._check_kernel_field(payload)
                 query = _require_str(payload, "query")
                 report = self.searcher.explain(query, payload.get("tau"))
                 return {"ok": True, "explain": report,
+                        "epoch": self.searcher.epoch}
+            if op == "kernels":
+                return {"ok": True,
+                        "serving": self.searcher.kernel.name,
+                        "kernels": describe_kernels(),
                         "epoch": self.searcher.epoch}
             if op == "ping":
                 return {"ok": True, "pong": True, "epoch": self.searcher.epoch}
@@ -440,7 +486,8 @@ class SimilarityService:
                                  "per_shard": shard_metrics["per_shard"]}
         else:
             engine = funnel_snapshot(searcher.statistics,
-                                     memory=searcher.index_memory())
+                                     memory=searcher.index_memory(),
+                                     kernel=searcher.kernel.name)
         payload["merged"] = merge_snapshots(
             [self.metrics.snapshot(), self._cache_snapshot(), engine])
         return payload
@@ -476,6 +523,7 @@ class SimilarityService:
             "size": len(searcher),
             "epoch": searcher.epoch,
             "tombstones": tombstones,
+            "kernel": searcher.kernel.name,
             "max_tau": searcher.max_tau,
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "queries_served": self.queries_served,

@@ -68,8 +68,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..config import (SHARD_BACKENDS, SHARD_POLICIES, PartitionStrategy,
-                      validate_threshold)
+from ..config import (DEFAULT_KERNEL, SHARD_BACKENDS, SHARD_POLICIES,
+                      PartitionStrategy)
+from ..core.kernel import (SimilarityKernel, check_batch_kernels,
+                           resolve_kernel)
 from ..core.parallel import available_workers
 from ..exceptions import ConfigurationError, InvalidThresholdError, ServiceError
 from ..obs.metrics import funnel_snapshot, merge_snapshots
@@ -129,11 +131,13 @@ class ShardContext:
     max_tau: int
     partition: PartitionStrategy
     compact_interval: int
+    kernel: str = DEFAULT_KERNEL
 
     def build(self) -> DynamicSearcher:
         return DynamicSearcher(self.records, max_tau=self.max_tau,
                                partition=self.partition,
-                               compact_interval=self.compact_interval)
+                               compact_interval=self.compact_interval,
+                               kernel=self.kernel)
 
 
 def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
@@ -172,7 +176,8 @@ def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
         # A registry snapshot is a plain dict, so it survives the process
         # backend's pipe unchanged and merges in the router.
         return funnel_snapshot(searcher.statistics,
-                               memory=searcher.index_memory())
+                               memory=searcher.index_memory(),
+                               kernel=searcher.kernel.name)
     if op == "explain":
         query, tau = args
         return searcher.explain(query, tau)
@@ -363,7 +368,8 @@ class ShardRouter:
                  shards: int, max_tau: int,
                  partition: PartitionStrategy = PartitionStrategy.EVEN,
                  compact_interval: int = 64, policy: str = "hash",
-                 backend: str = "auto", migration_batch: int = 256) -> None:
+                 backend: str = "auto", migration_batch: int = 256,
+                 kernel: str | SimilarityKernel | None = None) -> None:
         if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
             raise ConfigurationError(
                 f"shards must be a positive integer, got {shards!r}")
@@ -372,7 +378,8 @@ class ShardRouter:
             raise ConfigurationError(
                 f"migration_batch must be a positive integer, "
                 f"got {migration_batch!r}")
-        self.max_tau = validate_threshold(max_tau)
+        self.kernel = resolve_kernel(kernel)
+        self.max_tau = self.kernel.validate_tau(max_tau)
         self.num_shards = shards
         self.policy = make_placement_map(policy, shards, self.max_tau)
         self.backend = resolve_shard_backend(backend)
@@ -382,24 +389,28 @@ class ShardRouter:
 
         per_shard: list[list[StringRecord]] = [[] for _ in range(shards)]
         self._shard_of: dict[int, int] = {}  # live record id -> shard index
-        self._length_of: dict[int, int] = {}  # live record id -> text length
-        self._length_counts: dict[int, int] = {}  # live length -> record count
+        # live record id -> partition key under the kernel (text length for
+        # edit distance, token-set size for token-jaccard).
+        self._length_of: dict[int, int] = {}
+        self._length_counts: dict[int, int] = {}  # live key -> record count
         self._next_id = 0
         for record in as_records(strings):
             if record.id in self._shard_of:
                 raise ValueError(
                     f"duplicate id {record.id} in the initial collection: "
                     f"sharded results are only exact over unique ids")
-            shard = self.policy.place(record.id, record.length)
+            key = self.kernel.record_key(record.text)
+            shard = self.policy.place(record.id, key)
             per_shard[shard].append(record)
-            self._track_live(record.id, record.length, shard)
+            self._track_live(record.id, key, shard)
 
         self._mp_context = (multiprocessing.get_context("fork")
                             if self.backend == "process" else None)
         self._shards = [
             self._spawn(ShardContext(records=bucket, max_tau=self.max_tau,
                                      partition=partition,
-                                     compact_interval=compact_interval))
+                                     compact_interval=compact_interval,
+                                     kernel=self.kernel.name))
             for bucket in per_shard]
         self._epochs = [0] * shards
         # Epochs of retired shards fold into the base so the scalar epoch
@@ -530,7 +541,7 @@ class ShardRouter:
         see.
         """
         tau = key[2] if key[0] == "search" else key[3]
-        targets = self._probe_targets(len(key[1]), tau)
+        targets = self._probe_targets(key[1], tau)
         return (self._generation,
                 *(self._epochs[shard] for shard in targets))
 
@@ -624,9 +635,10 @@ class ShardRouter:
         record = coerce_insert_record(text, id, self._next_id)
         if record.id in self._shard_of:
             raise ValueError(f"id {record.id} is already in the collection")
-        shard = self.policy.place(record.id, record.length)
+        key = self.kernel.record_key(record.text)
+        shard = self.policy.place(record.id, key)
         self._call(shard, "insert", record)
-        self._track_live(record.id, record.length, shard)
+        self._track_live(record.id, key, shard)
         return record.id
 
     def delete(self, record_id: int) -> bool:
@@ -670,7 +682,8 @@ class ShardRouter:
         self._shards.append(self._spawn(
             ShardContext(records=[], max_tau=self.max_tau,
                          partition=self._partition,
-                         compact_interval=self._compact_interval)))
+                         compact_interval=self._compact_interval,
+                         kernel=self.kernel.name)))
         self._epochs.append(0)
         self.num_shards += 1
         self._start_migration("add-shard",
@@ -835,28 +848,32 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def _probe_targets(self, query_length: int, tau: int) -> tuple[int, ...]:
+    def _probe_targets(self, query: str, tau: int) -> tuple[int, ...]:
         """Shards a query must scatter to right now (possibly none).
 
-        Empty when no live record's length falls inside
-        ``[query_length − tau, query_length + tau]`` — a match would need
-        an edit distance above ``tau`` on length difference alone, so the
-        query is answered ``[]`` without touching any shard (the
+        The kernel turns the query into an inclusive partition-key window
+        (``[|q| − τ, |q| + τ]`` for edit distance, the Jaccard size filter
+        for token sets); the probe set is empty when no live record's key
+        falls inside it — a match is impossible on the key filter alone,
+        so the query is answered ``[]`` without touching any shard (the
         empty-band fast path of the ``length`` policy, valid for every
         policy).  During a migration the old and new maps' probe sets are
         unioned: an unmoved record is still covered by the old map, a
         moved one by the new.
         """
         counts = self._length_counts
-        if not any(length in counts
-                   for length in range(max(0, query_length - tau),
-                                       query_length + tau + 1)):
+        lo, hi = self.kernel.probe_key_range(query, tau)
+        if hi - lo + 1 > len(counts):
+            alive = any(lo <= key <= hi for key in counts)
+        else:
+            alive = any(key in counts for key in range(lo, hi + 1))
+        if not alive:
             return ()
-        targets = self.policy.probe_shards(query_length, tau)
+        targets = self.policy.probe_key_span(lo, hi)
         migration = self._migration
         if migration is not None:
             union = set(targets)
-            union.update(migration.old_policy.probe_shards(query_length, tau))
+            union.update(migration.old_policy.probe_key_span(lo, hi))
             targets = tuple(sorted(union))
         return targets
 
@@ -881,10 +898,10 @@ class ShardRouter:
 
     def search(self, query: str, tau: int | None = None) -> list[SearchMatch]:
         """Scatter a threshold search, merge under ``(distance, id)``."""
-        tau = self.max_tau if tau is None else validate_threshold(tau)
+        tau = self.max_tau if tau is None else self.kernel.validate_tau(tau)
         if tau > self.max_tau:
             raise InvalidThresholdError(tau)
-        targets = self._probe_targets(len(query), tau)
+        targets = self._probe_targets(query, tau)
         if not targets:
             return []
         gathered = self._scatter(targets, "search", (query, tau))
@@ -903,10 +920,10 @@ class ShardRouter:
         report without touching any shard — mirroring the :meth:`search`
         fast path.
         """
-        tau = self.max_tau if tau is None else validate_threshold(tau)
+        tau = self.max_tau if tau is None else self.kernel.validate_tau(tau)
         if tau > self.max_tau:
             raise InvalidThresholdError(tau)
-        targets = self._probe_targets(len(query), tau)
+        targets = self._probe_targets(query, tau)
         if not targets:
             return merge_explain_reports(query, tau, [])
         gathered = self._scatter(targets, "explain", (query, tau))
@@ -914,6 +931,7 @@ class ShardRouter:
 
     def search_many(self, queries: Sequence[str],
                     tau: int | Sequence[int | None] | None = None,
+                    kernel: "str | Sequence[str | None] | None" = None,
                     ) -> list[list[SearchMatch]]:
         """Answer a batch of threshold searches in one scatter round.
 
@@ -926,11 +944,14 @@ class ShardRouter:
         ``(distance, id)`` ordering.  Results are element-identical to the
         unsharded batch (and therefore to per-query :meth:`search` calls);
         queries whose probe set is empty stay ``[]`` without scattering.
+        ``kernel`` follows the rejection semantics of
+        :func:`~repro.service.dynamic.check_batch_kernels`.
         """
+        check_batch_kernels(self.kernel, kernel)
         taus = resolve_query_taus(queries, tau, self.max_tau)
         sub_batches: dict[int, list[tuple[int, str, int]]] = {}
         for position, (query, query_tau) in enumerate(zip(queries, taus)):
-            for shard in self._probe_targets(len(query), query_tau):
+            for shard in self._probe_targets(query, query_tau):
                 sub_batches.setdefault(shard, []).append(
                     (position, query, query_tau))
         per_query: list[list[SearchMatch]] = [[] for _ in queries]
@@ -963,8 +984,8 @@ class ShardRouter:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         limit = self.max_tau if max_tau is None else min(
-            validate_threshold(max_tau), self.max_tau)
-        targets = self._probe_targets(len(query), limit)
+            self.kernel.validate_tau(max_tau), self.max_tau)
+        targets = self._probe_targets(query, limit)
         if not targets:
             return []
         gathered = self._scatter(targets, "top-k", (query, k, limit))

@@ -122,10 +122,21 @@ class TestAblations:
         assert len(set(results.values())) == 1
         assert candidates["pass-join"] <= candidates["naive"]
 
+    def test_kernel_comparison_covers_both_kernels(self):
+        # The experiment itself asserts each kernel element-identical to a
+        # brute-force scan with its own distance, so reaching the table at
+        # all is the correctness check.
+        table = experiments.kernel_comparison(scale=SMALL)
+        assert ({row["kernel"] for row in table.rows}
+                == {"edit-distance", "token-jaccard"})
+        for row in table.rows:
+            assert row["accepted"] <= row["verifications"]
+
     def test_experiment_registry_is_complete(self):
         assert {"table2", "table3", "figure11", "figure12", "figure13",
                 "figure14", "figure15", "figure16", "verification-kernels",
-                "resharding-throughput"} <= set(experiments.EXPERIMENTS)
+                "resharding-throughput", "kernel-comparison"
+                } <= set(experiments.EXPERIMENTS)
 
 
 class TestReshardingThroughput:
