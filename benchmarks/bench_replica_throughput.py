@@ -1,0 +1,172 @@
+"""Read-replica fleet — read throughput vs replica count, exactness gated.
+
+The serving tier's read replicas promise two things: reads scale past the
+primary worker, and no replica ever serves a stale (or otherwise wrong)
+answer.  This benchmark measures the first and *always* enforces the
+second.  Two entry points:
+
+* Under pytest-benchmark (the suite's idiom) it runs the
+  ``replica-scaling`` experiment at ``BENCH_SCALE`` and asserts the
+  acceptance criteria: element-identical results against the unsharded
+  oracle (the experiment itself raises on any mismatch, and every row
+  must report the same total match count), and — only on runners with
+  >= 4 CPUs, where the process backend can actually parallelise — a
+  >= 1.4x read-qps speedup at 2 replicas.  The equality gate is
+  unconditional; the speedup gate documents itself as skipped on small
+  boxes instead of flaking there.
+* As a script it runs the acceptance-sized demonstration::
+
+      PYTHONPATH=src python benchmarks/bench_replica_throughput.py \\
+          --size 2000 --tau 2 --queries 300 --readers 4
+
+  exits non-zero if any enforced bar is missed, and appends the
+  measurements to the ``BENCH_replicas.json`` trajectory (``--no-json``
+  to skip), recording the CPU budget and whether the speedup gate was
+  enforced so the history stays interpretable across runner sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+try:  # absent when executed as a plain script (python benchmarks/bench_...py)
+    from .conftest import BENCH_SCALE, record_table
+except ImportError:  # pragma: no cover - script mode
+    BENCH_SCALE, record_table = 0.25, None
+
+from repro.bench.experiments import replica_scaling
+from repro.bench.harness import available_cpus
+from repro.bench.reporting import (append_bench_run, bench_run_payload,
+                                   bench_trajectory_path, format_table)
+
+#: Acceptance bar: 2 replicas must reach this multiple of the
+#: primary-only read qps under the fixed concurrent-reader pool.
+SPEEDUP_TARGET = 1.4
+#: The speedup bar is only enforced when this many CPUs are available —
+#: below that the process backend has no cores to spread replicas over
+#: (and the thread backend never does); the equality gate always runs.
+MIN_CPUS = 4
+
+
+def speedup_enforced() -> bool:
+    """Whether this machine is big enough to hold the speedup bar."""
+    return available_cpus() >= MIN_CPUS
+
+
+def _check_rows(table) -> dict[int, dict]:
+    return {row["replicas"]: row for row in table.rows}
+
+
+def _verify(table, *, strict_speedup: bool) -> list[str]:
+    """Return the list of failed acceptance criteria (empty when green).
+
+    The experiment already asserted every individual answer against the
+    unsharded oracle; the cross-row ``total_matches`` check here guards
+    the aggregation itself.  It is unconditional — replicas are never
+    allowed to trade exactness for throughput, on any machine.
+    """
+    rows = _check_rows(table)
+    failures = []
+    baseline = rows[0]
+    for replicas, row in sorted(rows.items()):
+        if row["total_matches"] != baseline["total_matches"]:
+            failures.append(
+                f"{replicas} replica(s) reported "
+                f"{row['total_matches']} matches, primary-only run "
+                f"reported {baseline['total_matches']}")
+    scaled_row = rows[max(rows)]
+    if scaled_row["replica_reads"] == 0 and max(rows) > 0:
+        failures.append("no reads were served by replicas — the read "
+                        "schedule is not routing")
+    if strict_speedup and scaled_row["speedup"] < SPEEDUP_TARGET:
+        failures.append(
+            f"{max(rows)} replicas reached only {scaled_row['speedup']}x "
+            f"read qps (target: >= {SPEEDUP_TARGET}x)")
+    return failures
+
+
+def test_replica_throughput(benchmark):
+    table = benchmark.pedantic(
+        lambda: replica_scaling(scale=BENCH_SCALE, tau=2),
+        rounds=1, iterations=1)
+    record_table(benchmark, table)
+    failures = _verify(table, strict_speedup=speedup_enforced())
+    assert not failures, failures
+
+
+def run_replica_demo(size: int, tau: int, queries: int, readers: int,
+                     seed: int = 7,
+                     json_dir: str | None = None) -> int:
+    """Run the read workload at ``size`` author strings, print the table.
+
+    Returns 0 when every enforced bar held (equality always; >= 1.4x read
+    qps at 2 replicas only with >= 4 CPUs); 1 otherwise.  When
+    ``json_dir`` is given, the measurements extend the
+    ``BENCH_replicas.json`` trajectory there (failures included — a
+    missed bar is exactly the kind of run the history should record).
+    """
+    from repro.bench.experiments import DEFAULT_SIZES
+
+    scale = size / DEFAULT_SIZES["author"]
+    table = replica_scaling(scale=scale, tau=tau, num_queries=queries,
+                            readers=readers, seed=seed)
+    print(format_table(table))
+    strict = speedup_enforced()
+    if not strict:
+        print(f"speedup gate skipped: {available_cpus()} CPU(s) < "
+              f"{MIN_CPUS} (equality gate still enforced)")
+    failures = _verify(table, strict_speedup=strict)
+    if json_dir is not None:
+        rows = _check_rows(table)
+        scaled_row = rows[max(rows)]
+        metrics = {
+            "size": size,
+            "tau": tau,
+            "queries": queries,
+            "readers": readers,
+            "cpus": available_cpus(),
+            "backend": scaled_row["backend"],
+            "replica_counts": sorted(rows),
+            "primary_only_qps": rows[0]["qps"],
+            "max_replicas": max(rows),
+            "max_replicas_qps": scaled_row["qps"],
+            "speedup": scaled_row["speedup"],
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_enforced": strict,
+            "replica_reads": scaled_row["replica_reads"],
+            "total_matches": scaled_row["total_matches"],
+            "passed": not failures,
+        }
+        path = bench_trajectory_path(json_dir, "replicas")
+        document = append_bench_run(
+            path, "replicas", bench_run_payload(metrics, tables=[table]))
+        print(f"trajectory: {path} ({len(document['runs'])} run(s))")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=2000,
+                        help="number of synthetic author strings "
+                             "(default 2000)")
+    parser.add_argument("--tau", type=int, default=2,
+                        help="edit-distance threshold (default 2)")
+    parser.add_argument("--queries", type=int, default=300,
+                        help="read workload size (default 300)")
+    parser.add_argument("--readers", type=int, default=4,
+                        help="concurrent reader threads (default 4)")
+    parser.add_argument("--json-dir", default=".",
+                        help="directory for BENCH_replicas.json "
+                             "(default: current directory)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing the trajectory file")
+    args = parser.parse_args(argv)
+    return run_replica_demo(args.size, args.tau, args.queries, args.readers,
+                            json_dir=None if args.no_json else args.json_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

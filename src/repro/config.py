@@ -253,6 +253,22 @@ class ServiceConfig:
         token sets; ``tau`` is a scaled Jaccard distance in ``[0, 100)``).
         One server serves one kernel; requests naming another kernel are
         rejected with the served and registered kernel names.
+    replicas:
+        Read replicas per shard (``0``, the default, disables replication).
+        Each shard primary feeds ``replicas`` extra workers from its
+        epoch-tagged mutation log; reads load-balance across replicas whose
+        applied epoch matches the router's epoch mirror, and a stale or
+        dead replica is bypassed to the primary — never served.  Setting
+        ``replicas > 0`` routes even a single-shard service through the
+        :class:`~repro.service.sharding.ShardRouter` so the replica fleet
+        exists to serve from.
+    acceptors:
+        Number of acceptor loops the TCP transport runs (default ``1``).
+        With more than one, the extra acceptors share the listening port
+        via ``SO_REUSEPORT`` (each with its own event loop, request
+        batcher, and per-acceptor metrics, all over the one shared
+        service); platforms without ``SO_REUSEPORT`` fall back to a single
+        acceptor with a warning.
     """
 
     host: str = "127.0.0.1"
@@ -270,6 +286,8 @@ class ServiceConfig:
     migration_batch: int = 256
     slow_query_ms: float = 0.0
     kernel: str = DEFAULT_KERNEL
+    replicas: int = 0
+    acceptors: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.partition, PartitionStrategy):
@@ -283,7 +301,8 @@ class ServiceConfig:
         for name, value in (("port", self.port),
                             ("cache_capacity", self.cache_capacity),
                             ("max_query_batch", self.max_query_batch),
-                            ("compact_interval", self.compact_interval)):
+                            ("compact_interval", self.compact_interval),
+                            ("replicas", self.replicas)):
             if isinstance(value, bool) or not isinstance(value, int) or value < 0:
                 raise ConfigurationError(
                     f"{name} must be a non-negative integer, got {value!r}")
@@ -293,6 +312,10 @@ class ServiceConfig:
                 or self.max_batch < 1):
             raise ConfigurationError(
                 f"max_batch must be a positive integer, got {self.max_batch!r}")
+        if (isinstance(self.acceptors, bool)
+                or not isinstance(self.acceptors, int) or self.acceptors < 1):
+            raise ConfigurationError(
+                f"acceptors must be a positive integer, got {self.acceptors!r}")
         if (isinstance(self.batch_window, bool)
                 or not isinstance(self.batch_window, (int, float))
                 or self.batch_window < 0):

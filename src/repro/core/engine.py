@@ -29,8 +29,11 @@ verifier, only for candidates it *accepts*).
 :func:`probe_many` is the batch-probe executor on top of the same pipeline:
 a whole batch of ``(query, tau)`` lookups is answered in one pass, with
 duplicate queries executed once and the selection windows of every
-``(query length, tau, indexed length)`` combination computed once per
-group instead of once per query (scan sharing for the select phase).
+``(query length, indexed length)`` combination computed once per batch —
+shared even across groups that differ only in ``tau``, since the window
+formula depends on the index partition threshold, not the per-query one
+(scan sharing for the select phase; reuse counted as
+``num_windows_reused`` in the funnel).
 """
 
 from __future__ import annotations
@@ -265,6 +268,13 @@ def probe_many(queries: Sequence[tuple[str, int]], *, index: SegmentIndex,
     for (text, tau), positions in unique.items():
         groups.setdefault((len(text), tau), []).append((text, positions))
 
+    # Selection windows are a pure function of (probe length, indexed
+    # length) — the selector's tau is the *index* partition threshold, not
+    # the per-query one — so groups that differ only in tau (same query
+    # length, different thresholds) share their window sets across the
+    # whole batch instead of recomputing them per group.
+    window_cache: dict[tuple[int, int], list] = {}
+
     for (query_length, tau), members in sorted(groups.items()):
         verifier = verifier_factory(tau)
         skip_rechecks = verifier.exact_per_pair
@@ -292,11 +302,17 @@ def probe_many(queries: Sequence[tuple[str, int]], *, index: SegmentIndex,
             if not index.has_length(length):
                 continue
             layout = index.layout(length)
-            selection_started = time.perf_counter()
-            # One window computation for every query in the group — the
-            # batch saving probe_record pays per query.
-            windows = selector.windows(query_length, length, layout)
-            stats.selection_seconds += time.perf_counter() - selection_started
+            windows = window_cache.get((query_length, length))
+            if windows is None:
+                selection_started = time.perf_counter()
+                # One window computation for every query in the group — the
+                # batch saving probe_record pays per query.
+                windows = selector.windows(query_length, length, layout)
+                stats.selection_seconds += (
+                    time.perf_counter() - selection_started)
+                window_cache[(query_length, length)] = windows
+            else:
+                stats.num_windows_reused += 1
             for state in states:
                 text = state.text
                 found = state.found

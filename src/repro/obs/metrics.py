@@ -53,6 +53,7 @@ FUNNEL_COUNTER_FIELDS: tuple[tuple[str, str], ...] = (
     ("num_results", "engine_results"),
     ("num_matrix_cells", "engine_matrix_cells"),
     ("num_early_terminations", "engine_early_terminations"),
+    ("num_windows_reused", "engine_windows_reused"),
     ("selection_seconds", "engine_selection_seconds"),
     ("verification_seconds", "engine_verification_seconds"),
 )

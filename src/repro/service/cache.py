@@ -24,12 +24,21 @@ from ..search.searcher import SearchMatch
 
 @dataclass(slots=True)
 class CacheStats:
-    """Hit/miss accounting for one :class:`QueryCache`."""
+    """Hit/miss accounting for one :class:`QueryCache`.
+
+    ``coalesced`` counts queries answered by sharing another query's
+    execution in the same batch (duplicate keys deduplicated by the
+    serving core) — they are neither hits nor misses, because the cache
+    was never consulted for them.  Counting them as misses would deflate
+    the hit rate even though only one index pass ran; keeping them out of
+    both sides keeps ``hit_rate`` a property of the cache alone.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    coalesced: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -42,6 +51,7 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "coalesced": self.coalesced,
                 "hit_rate": round(self.hit_rate, 4)}
 
 
@@ -111,6 +121,15 @@ class QueryCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def note_coalesced(self, count: int = 1) -> None:
+        """Record queries answered by sharing a duplicate's execution.
+
+        Deliberately independent of :attr:`capacity`: coalescing is a
+        property of the batch executor, so it is counted even when the
+        cache itself is disabled.
+        """
+        self.stats.coalesced += count
 
     def clear(self) -> None:
         """Drop every entry (counts as an invalidation when non-empty)."""

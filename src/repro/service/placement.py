@@ -44,6 +44,7 @@ Three maps implement the contract:
 from __future__ import annotations
 
 from bisect import bisect_left
+from typing import Sequence
 
 from ..config import SHARD_POLICIES
 from ..exceptions import ConfigurationError
@@ -228,3 +229,46 @@ def make_placement_map(name: str, shards: int, max_tau: int) -> PlacementMap:
             f"shard_policy must be one of {SHARD_POLICIES}, "
             f"got {name!r}") from None
     return map_type(shards, max_tau)
+
+
+class ReplicaReadSchedule:
+    """Round-robin rotation over a shard's eligible read endpoints.
+
+    The placement map decides *which shards* a query probes; with read
+    replicas each probed shard additionally has several physical endpoints
+    able to serve the read — the primary plus every replica whose applied
+    epoch matches the router's epoch mirror (the freshness token; a stale
+    replica is never eligible).  This schedule spreads consecutive reads
+    across those endpoints with a per-shard cursor, so a shard's replicas
+    share its read load evenly instead of the first fresh one taking all
+    of it.
+
+    The eligible set is recomputed by the router per read (freshness and
+    liveness change under mutations and faults); the schedule only owns
+    the rotation state, which is why it lives with the other placement
+    decisions rather than inside the router's scatter-gather plumbing.
+    """
+
+    def __init__(self) -> None:
+        self._cursors: dict[int, int] = {}
+
+    def choose(self, shard: int, candidates: Sequence[int]) -> int | None:
+        """Pick one of ``candidates`` (replica indices), rotating per shard.
+
+        Returns ``None`` when ``candidates`` is empty — the router falls
+        back to the shard primary.  The cursor advances on every call,
+        even across changing candidate sets, so a replica returning to
+        freshness re-enters the rotation immediately.
+        """
+        if not candidates:
+            return None
+        cursor = self._cursors.get(shard, 0)
+        self._cursors[shard] = cursor + 1
+        return candidates[cursor % len(candidates)]
+
+    def reset(self, shard: int | None = None) -> None:
+        """Drop the rotation state of ``shard`` (or of every shard)."""
+        if shard is None:
+            self._cursors.clear()
+        else:
+            self._cursors.pop(shard, None)

@@ -20,7 +20,15 @@ Two classes split the serving stack along the transport boundary:
   request object per line, one response object per line, UTF-8.  Query
   operations flow through a :class:`~repro.service.batcher.RequestBatcher`
   so concurrent lookups coalesce into single index passes; mutations and
-  admin operations execute immediately.
+  admin operations execute immediately.  With
+  :attr:`~repro.config.ServiceConfig.acceptors` > 1 the primary server
+  spawns extra acceptor loops in daemon threads, all bound to the same
+  port via ``SO_REUSEPORT`` (the kernel load-balances connections across
+  them); each acceptor runs the full parse/batch/respond path with its
+  own batcher and per-acceptor metrics against the one shared service,
+  whose internal lock makes the core safe to drive from several loops.
+  Platforms without ``SO_REUSEPORT`` fall back to a single acceptor with
+  a warning.
 
 :class:`BackgroundServer` runs the whole stack in a daemon thread with its
 own event loop — the harness used by the synchronous client tests, the CLI
@@ -44,8 +52,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import threading
 import time
+import warnings
 from typing import Callable, Iterable, Sequence
 
 from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig, validate_threshold
@@ -123,14 +133,18 @@ class SimilarityService:
     def __init__(self, strings: Iterable[str | StringRecord] = (),
                  config: ServiceConfig = DEFAULT_SERVICE_CONFIG) -> None:
         self.config = config
-        if config.shards > 1:
+        # replicas > 0 routes even a single-shard collection through the
+        # router: the replica fleet hangs off the router's scatter path,
+        # so an unsharded DynamicSearcher has nowhere to put one.
+        if config.shards > 1 or config.replicas > 0:
             self.searcher: DynamicSearcher | ShardRouter = ShardRouter(
                 strings, shards=config.shards, max_tau=config.max_tau,
                 partition=config.partition,
                 compact_interval=config.compact_interval,
                 policy=config.shard_policy, backend=config.shard_backend,
                 migration_batch=config.migration_batch,
-                kernel=config.kernel)
+                kernel=config.kernel,
+                replicas_per_shard=config.replicas)
         else:
             self.searcher = DynamicSearcher(
                 strings, max_tau=config.max_tau, partition=config.partition,
@@ -142,6 +156,17 @@ class SimilarityService:
         # latency histograms, fed by record_request() on every dispatch
         # (both the transport-free core and the TCP fast paths).
         self.metrics = MetricsRegistry()
+        # One registry per acceptor loop of the TCP transport, registered
+        # by each SimilarityServer that fronts this service and merged
+        # into the ``metrics`` payload alongside the core registries.
+        self.acceptor_registries: list[MetricsRegistry] = []
+        # The core serializes dispatch, batch execution, and telemetry
+        # reads: with an acceptor pool, several event loops drive this one
+        # object from different threads, and neither the LRU cache nor the
+        # metrics dicts (nor interleaving a mutation inside another
+        # acceptor's batch) are safe without it.  Reentrant because
+        # dispatch reaches stats()/metrics_payload() internally.
+        self._lock = threading.RLock()
         self.started_monotonic = time.monotonic()
         # Last background reshard-drain failure (set by the transport's
         # drain task, surfaced through rebalance-status): a dead shard
@@ -154,6 +179,20 @@ class SimilarityService:
         closer = getattr(self.searcher, "close", None)
         if closer is not None:
             closer()
+
+    def register_acceptor(self) -> MetricsRegistry:
+        """A fresh per-acceptor registry, tracked for the metrics merge.
+
+        Each acceptor loop counts its own connections and request lines
+        into its registry (single-writer, so no locking on the hot path);
+        :meth:`metrics_payload` merges them with
+        :func:`~repro.obs.metrics.merge_snapshots` and exposes the raw
+        per-acceptor snapshots so a skewed kernel load-balance is visible.
+        """
+        registry = MetricsRegistry()
+        with self._lock:
+            self.acceptor_registries.append(registry)
+        return registry
 
     # ------------------------------------------------------------------
     # Query path (used directly and by the batcher)
@@ -261,13 +300,32 @@ class SimilarityService:
         the query and threshold): a mutation bumps one shard's epoch, so
         entries depending on that shard simply stop matching and age out of
         the LRU, while entries over the other shards keep hitting.
+
+        Duplicate keys within one batch are answered by copying the first
+        occurrence's answer and counted as ``cache.coalesced`` — they
+        never consult the cache, so a coalesced batch of one popular query
+        records one miss (or one hit), not one per duplicate.
         """
+        with self._lock:
+            return self._execute_queries_locked(keys)
+
+    def _execute_queries_locked(self, keys: Sequence[QueryKey],
+                                ) -> list[tuple[list[SearchMatch], bool]]:
         epoch_token = getattr(self.searcher, "epoch_token", None)
         epoch = self.searcher.epoch
         answers: list[tuple[list[SearchMatch], bool] | None] = [None] * len(keys)
         pending: list[tuple[int, QueryKey, QueryKey, int]] = []
+        leaders: dict[QueryKey, int] = {}
+        duplicates: list[tuple[int, int]] = []
         for position, key in enumerate(keys):
             self.queries_served += 1
+            leader = leaders.get(key)
+            if leader is not None:
+                # Same key, same snapshot: the answer is the leader's.
+                self.cache.note_coalesced()
+                duplicates.append((position, leader))
+                continue
+            leaders[key] = position
             if epoch_token is None:
                 cache_key, cache_epoch = key, epoch
             else:
@@ -294,6 +352,8 @@ class SimilarityService:
                     pending, batches):
                 self.cache.put(cache_key, cache_epoch, matches)
                 answers[position] = (matches, False)
+        for position, leader in duplicates:
+            answers[position] = answers[leader]
         return answers  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -312,7 +372,8 @@ class SimilarityService:
             return {"ok": False, "error": "request must be a JSON object"}
         op = payload.get("op")
         started = time.perf_counter()
-        response = self._dispatch(payload, op)
+        with self._lock:
+            response = self._dispatch(payload, op)
         query = payload.get("query")
         self.record_request(op, time.perf_counter() - started,
                             bool(response.get("ok")),
@@ -332,10 +393,11 @@ class SimilarityService:
         structured slow-query log event.
         """
         name = op if isinstance(op, str) and op in ALL_OPS else "unknown"
-        self.metrics.inc(f"requests.{name}")
-        self.metrics.observe(f"latency_seconds.{name}", seconds)
-        if not ok:
-            self.metrics.inc(f"errors.{name}")
+        with self._lock:
+            self.metrics.inc(f"requests.{name}")
+            self.metrics.observe(f"latency_seconds.{name}", seconds)
+            if not ok:
+                self.metrics.inc(f"errors.{name}")
         threshold = self.config.slow_query_ms
         if threshold and seconds * 1000.0 >= threshold:
             log_slow_query(op=name, seconds=seconds, threshold_ms=threshold,
@@ -431,11 +493,13 @@ class SimilarityService:
         The hook the TCP transport's background drain task uses to move an
         in-flight migration forward between answering queries.
         """
-        return self._require_router("migration-step").migration_step()
+        with self._lock:
+            return self._require_router("migration-step").migration_step()
 
     def rebalance_status(self) -> dict:
         """The router's rebalance status (for tests and the drain task)."""
-        return self._require_router("rebalance-status").rebalance_status()
+        with self._lock:
+            return self._require_router("rebalance-status").rebalance_status()
 
     def _query_response(self, matches: list[SearchMatch], cached: bool) -> dict:
         return {"ok": True, "matches": [match.to_dict() for match in matches],
@@ -454,7 +518,8 @@ class SimilarityService:
         """The query cache's counters and occupancy as a registry snapshot."""
         registry = MetricsRegistry()
         cache_stats = self.cache.stats.as_dict()
-        for name in ("hits", "misses", "evictions", "invalidations"):
+        for name in ("hits", "misses", "evictions", "invalidations",
+                     "coalesced"):
             registry.inc(f"cache_{name}", cache_stats[name])
         registry.set_gauge("cache_size", len(self.cache))
         registry.set_gauge("cache_capacity", self.cache.capacity)
@@ -473,7 +538,18 @@ class SimilarityService:
         <repro.service.sharding.ShardRouter.metrics_snapshot>` when
         sharded, in which case the per-shard snapshots are also exposed
         under ``shards.per_shard``.
+
+        With read replicas the router's replica section is re-exported as
+        registry metrics — ``replica_reads``/``replica_fallbacks``
+        counters plus ``replica_lag_max``/``replicas_alive``/
+        ``replicas_total`` gauges — and with an acceptor pool the
+        per-acceptor registries join the merge, their raw snapshots
+        exposed under ``acceptors.per_acceptor``.
         """
+        with self._lock:
+            return self._metrics_payload_locked()
+
+    def _metrics_payload_locked(self) -> dict:
         uptime = time.monotonic() - self.started_monotonic
         self.metrics.set_gauge("uptime_seconds", uptime)
         searcher = self.searcher
@@ -488,8 +564,29 @@ class SimilarityService:
             engine = funnel_snapshot(searcher.statistics,
                                      memory=searcher.index_memory(),
                                      kernel=searcher.kernel.name)
-        payload["merged"] = merge_snapshots(
-            [self.metrics.snapshot(), self._cache_snapshot(), engine])
+        sources = [self.metrics.snapshot(), self._cache_snapshot(), engine]
+        replicas = (shard_metrics.get("replicas")
+                    if isinstance(searcher, ShardRouter) else None)
+        if replicas is not None:
+            payload["shards"]["replicas"] = replicas
+            replica_registry = MetricsRegistry()
+            replica_registry.inc("replica_reads", replicas["replica_reads"])
+            replica_registry.inc("replica_fallbacks",
+                                 replicas["replica_fallbacks"])
+            replica_registry.set_gauge("replica_lag_max",
+                                       replicas["replica_lag_max"])
+            replica_registry.set_gauge("replicas_alive",
+                                       replicas["replicas_alive"])
+            replica_registry.set_gauge("replicas_total",
+                                       replicas["replicas_total"])
+            sources.append(replica_registry.snapshot())
+        if self.acceptor_registries:
+            per_acceptor = [registry.snapshot()
+                            for registry in self.acceptor_registries]
+            payload["acceptors"] = {"count": len(per_acceptor),
+                                    "per_acceptor": per_acceptor}
+            sources.extend(per_acceptor)
+        payload["merged"] = merge_snapshots(sources)
         return payload
 
     def stats(self) -> dict:
@@ -504,6 +601,10 @@ class SimilarityService:
         every member of a batch, so it is not the sum of
         ``requests_by_op``.
         """
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
         searcher = self.searcher
         if isinstance(searcher, ShardRouter):
             # One status scatter covers tombstones, statistics, and memory;
@@ -549,11 +650,29 @@ class SimilarityService:
                 "rows_migrated": searcher.rows_migrated_total,
                 "rebalance": searcher.rebalance_status(),
             }
+            if searcher.replicas_per_shard:
+                # Per-replica freshness and liveness (the ``admin status``
+                # replica rows): applied epoch, lag behind the primary,
+                # and whether the replica is still being served from.
+                payload["shards"]["replicas_per_shard"] = (
+                    searcher.replicas_per_shard)
+                payload["shards"]["replicas"] = searcher.replica_status()
+                payload["shards"]["replica_reads"] = searcher.replica_reads
+                payload["shards"]["replica_fallbacks"] = (
+                    searcher.replica_fallbacks)
         return payload
 
 
 class SimilarityServer:
     """Asyncio JSON-lines TCP transport around a :class:`SimilarityService`.
+
+    With ``service.config.acceptors > 1`` the primary server (the one the
+    caller starts) spawns the extra acceptors itself: each is another
+    ``SimilarityServer`` over the *same* service, running in a daemon
+    thread with its own event loop and request batcher, bound to the same
+    already-chosen port with ``SO_REUSEPORT`` so the kernel spreads
+    incoming connections across the pool.  Stopping the primary stops the
+    pool; a ``shutdown`` op arriving on any acceptor does the same.
 
     Examples
     --------
@@ -568,7 +687,9 @@ class SimilarityServer:
     """
 
     def __init__(self, service: SimilarityService, *, host: str | None = None,
-                 port: int | None = None) -> None:
+                 port: int | None = None, acceptor_id: int = 0,
+                 on_shutdown: Callable[[], None] | None = None,
+                 _reuse_port: bool = False) -> None:
         self.service = service
         config = service.config
         self.host = config.host if host is None else host
@@ -576,27 +697,92 @@ class SimilarityServer:
         self.batcher = RequestBatcher(service.execute_queries,
                                       max_batch=config.max_batch,
                                       window=config.batch_window)
+        self.acceptor_id = acceptor_id
+        self.acceptor_metrics = service.register_acceptor()
         self.address: tuple[str, int] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stopped: asyncio.Event | None = None
         self._reshard_task: "asyncio.Task | None" = None
+        # Pool plumbing.  Primary only: the loops/servers/threads of the
+        # extra acceptors it spawned.  Extras only: on_shutdown points back
+        # at the primary's request_stop, so a shutdown op arriving on any
+        # acceptor tears the whole pool down.
+        self._on_shutdown = on_shutdown
+        self._reuse_port = _reuse_port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._extra_acceptors: list[
+            tuple[asyncio.AbstractEventLoop, "SimilarityServer"]] = []
+        self._acceptor_threads: list[threading.Thread] = []
 
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Bind and start accepting connections; return ``(host, port)``.
 
         With ``port=0`` the operating system picks the port; the bound
-        address is stored in :attr:`address`.
+        address is stored in :attr:`address`.  When the service config
+        asks for an acceptor pool, the extra acceptors are spawned here —
+        after the bind, so they can share the concrete port.
         """
         if self._server is not None:
             raise ServiceError("server is already running")
         self._stopped = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        acceptors = 1 if self.acceptor_id else self.service.config.acceptors
+        reuse_port = self._reuse_port or acceptors > 1
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            warnings.warn(
+                "SO_REUSEPORT is unavailable on this platform; serving "
+                "with a single acceptor", RuntimeWarning, stacklevel=2)
+            acceptors, reuse_port = 1, False
         self._server = await asyncio.start_server(self._handle_connection,
                                                   self.host, self.port,
-                                                  limit=STREAM_LIMIT)
+                                                  limit=STREAM_LIMIT,
+                                                  reuse_port=reuse_port)
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
+        for index in range(1, acceptors):
+            self._spawn_acceptor(index)
         return self.address
+
+    def _spawn_acceptor(self, index: int) -> None:
+        """Start one extra acceptor loop in a daemon thread; wait for bind."""
+        ready = threading.Event()
+        failures: list[BaseException] = []
+        thread = threading.Thread(
+            target=lambda: asyncio.run(
+                self._acceptor_main(index, ready, failures)),
+            name=f"similarity-acceptor-{index}", daemon=True)
+        self._acceptor_threads.append(thread)
+        thread.start()
+        if not ready.wait(timeout=10):
+            raise ServiceError(f"acceptor {index} failed to start within 10s")
+        if failures:
+            raise ServiceError(
+                f"acceptor {index} failed to start: {failures[0]}")
+
+    async def _acceptor_main(self, index: int, ready: threading.Event,
+                             failures: list[BaseException]) -> None:
+        assert self.address is not None
+        server = SimilarityServer(
+            self.service, host=self.address[0], port=self.address[1],
+            acceptor_id=index, on_shutdown=self.request_stop,
+            _reuse_port=True)
+        try:
+            await server.start()
+        except BaseException as error:  # noqa: BLE001 - reported to spawner
+            failures.append(error)
+            ready.set()
+            return
+        self._extra_acceptors.append((asyncio.get_running_loop(), server))
+        ready.set()
+        await server.serve_forever()
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown trigger (used by the extra acceptors)."""
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self.stop()))
 
     async def serve_forever(self) -> None:
         """Block until :meth:`stop` is called (or a shutdown op arrives)."""
@@ -610,10 +796,22 @@ class SimilarityServer:
         An in-flight background reshard drain is cancelled — the router's
         migration state is process-local, so there is nothing to hand
         over; a restarted server simply rebuilds placement from scratch.
+        On the primary this also stops every extra acceptor it spawned
+        and joins their threads.
         """
         if self._reshard_task is not None:
             self._reshard_task.cancel()
             self._reshard_task = None
+        extras, self._extra_acceptors = self._extra_acceptors, []
+        for loop, server in extras:
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    server.stop(), loop).result(timeout=10)
+            except (RuntimeError, TimeoutError):  # pragma: no cover
+                pass  # loop already gone; the daemon thread dies with us
+        threads, self._acceptor_threads = self._acceptor_threads, []
+        for thread in threads:
+            thread.join(timeout=10)
         if self._server is None:
             return
         self._server.close()
@@ -625,6 +823,11 @@ class SimilarityServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        # Per-acceptor accounting: each acceptor loop is the only writer
+        # of its registry, so these bumps need no lock; the merged view
+        # (and the kernel's SO_REUSEPORT load-balance) shows up under
+        # ``acceptors.per_acceptor`` in the metrics payload.
+        self.acceptor_metrics.inc("acceptor_connections")
         try:
             while True:
                 try:
@@ -644,6 +847,7 @@ class SimilarityServer:
                 stripped = line.strip()
                 if not stripped:
                     continue
+                self.acceptor_metrics.inc("acceptor_requests")
                 stopping = False
                 try:
                     payload = json.loads(stripped.decode("utf-8"))
@@ -665,7 +869,12 @@ class SimilarityServer:
                 writer.write(json.dumps(response).encode("utf-8") + b"\n")
                 await writer.drain()
                 if stopping:
-                    asyncio.get_running_loop().create_task(self.stop())
+                    if self._on_shutdown is not None:
+                        # Extra acceptor: route the shutdown through the
+                        # primary so the whole pool stops, not just us.
+                        self._on_shutdown()
+                    else:
+                        asyncio.get_running_loop().create_task(self.stop())
                     break
         except ConnectionResetError:  # client vanished mid-request
             pass

@@ -58,6 +58,35 @@ epochs of exactly the shards a query key probes, which the serving core
 folds into its cache key — a mutation on one shard invalidates exactly the
 cached queries that probe it, and a resize (which changes probe sets) bumps
 the generation so no cached answer can outlive a placement change.
+
+Read replicas
+-------------
+``replicas_per_shard=N`` gives every shard ``N`` **read replicas**: extra
+workers built from the same :class:`ShardContext` (fork-time copy-on-write
+for the process backend, exactly like the primaries) that each hold a full
+copy of their shard's index.  The primary keeps an epoch-tagged mutation
+log (:meth:`DynamicSearcher.mutation_log_tail
+<repro.service.dynamic.DynamicSearcher.mutation_log_tail>`); after every
+mutation the router ships the log tail to the shard's replicas, which
+replay it and report their ``applied_epoch`` back.
+
+Freshness is enforced with the machinery that already keys the query
+cache: a read (``search``/``search-many``/``top-k``) may be served by a
+replica **only** when its applied epoch equals the router's epoch mirror
+for that shard — the same per-shard epoch that :meth:`ShardRouter.
+epoch_token` folds into cache keys.  A lagging, dead, or diverged replica
+is silently bypassed in favour of the primary (and a replica that fails
+mid-read is marked dead and the read retried on the primary), so
+replicated answers are element-identical to an unsharded searcher under
+any interleaving of mutations, resizes, and replica faults — a stale
+answer is structurally impossible, the replicas only ever *add* capacity.
+Writes always route to the primary.  Reads rotate across the fresh
+replicas (and their primary) via
+:class:`~repro.service.placement.ReplicaReadSchedule`; every worker
+endpoint carries its own lock held across one send/recv exchange, so
+multiple caller threads can drive reads against different endpoints of
+the same shard concurrently — the mechanism behind the replica read
+throughput benchmark (``benchmarks/bench_replica_throughput.py``).
 """
 
 from __future__ import annotations
@@ -65,7 +94,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from ..config import (DEFAULT_KERNEL, SHARD_BACKENDS, SHARD_POLICIES,
@@ -79,7 +108,8 @@ from ..obs.trace import merge_explain_reports
 from ..search.searcher import SearchMatch, resolve_query_taus
 from ..types import JoinStatistics, StringRecord, as_records
 from .dynamic import DynamicSearcher, coerce_insert_record
-from .placement import PlacementMap, make_placement_map
+from .placement import (PlacementMap, ReplicaReadSchedule,
+                        make_placement_map)
 
 #: Backwards-compatible alias: placement used to be configured through
 #: ``make_shard_policy`` before it grew into :mod:`repro.service.placement`.
@@ -132,12 +162,17 @@ class ShardContext:
     partition: PartitionStrategy
     compact_interval: int
     kernel: str = DEFAULT_KERNEL
+    #: True on a shard primary with read replicas: the primary keeps the
+    #: epoch-tagged mutation log its replicas catch up from.  Replicas are
+    #: built from the same context with this flag stripped.
+    log_mutations: bool = False
 
     def build(self) -> DynamicSearcher:
         return DynamicSearcher(self.records, max_tau=self.max_tau,
                                partition=self.partition,
                                compact_interval=self.compact_interval,
-                               kernel=self.kernel)
+                               kernel=self.kernel,
+                               log_mutations=self.log_mutations)
 
 
 def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
@@ -181,6 +216,16 @@ def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
     if op == "explain":
         query, tau = args
         return searcher.explain(query, tau)
+    if op == "log-tail":
+        # Primary only: the mutation entries a replica needs to catch up.
+        return searcher.mutation_log_tail(args)
+    if op == "log-trim":
+        # Primary only: every replica passed this epoch, drop the prefix.
+        return searcher.trim_mutation_log(args)
+    if op == "apply-log":
+        # Replica only: replay a primary log tail; the standard reply
+        # epoch then reports the replica's new applied epoch.
+        return searcher.apply_mutations(args)
     raise ServiceError(f"unknown shard op {op!r}")
 
 
@@ -197,8 +242,17 @@ class _InProcessShard:
     def __init__(self, context: ShardContext) -> None:
         self._searcher = context.build()
         self._reply: tuple[str, object, int] | None = None
+        self._closed = False
+        # Serialises one send/recv exchange per caller thread; see
+        # _scatter_each for the acquisition discipline.
+        self.lock = threading.Lock()
 
     def send(self, op: str, args: object) -> None:
+        if self._closed:
+            # Mirror the process backend's broken pipe: a stopped worker
+            # fails at send time, so replica fault handling is
+            # backend-agnostic.
+            raise ServiceError("shard worker is closed")
         try:
             result = _apply_shard_op(self._searcher, op, args)
         except Exception as error:  # noqa: BLE001 - re-raised by recv()
@@ -215,7 +269,7 @@ class _InProcessShard:
         return payload, epoch
 
     def close(self) -> None:
-        pass
+        self._closed = True
 
 
 def _shard_worker_main(conn, context: ShardContext) -> None:
@@ -254,6 +308,7 @@ class _ProcessShard:
     backend = "process"
 
     def __init__(self, context: ShardContext, mp_context) -> None:
+        self.lock = threading.Lock()
         self._conn, child_conn = mp_context.Pipe()
         self._process = mp_context.Process(
             target=_shard_worker_main, args=(child_conn, context), daemon=True)
@@ -285,6 +340,36 @@ class _ProcessShard:
         if self._process.is_alive():  # pragma: no cover - stuck worker
             self._process.terminate()
             self._process.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Read replicas
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class _ReplicaState:
+    """One read replica of a shard: its worker plus replication progress.
+
+    ``applied_epoch`` is the epoch the replica's index reached by
+    replaying the primary's mutation log; the replica may serve reads only
+    while it equals the router's epoch mirror for the shard.  ``alive``
+    goes (permanently) False when the worker fails or is stopped — a dead
+    replica is never read from and never synced again, the primary simply
+    carries its share of the read load.
+    """
+
+    worker: object  # _InProcessShard | _ProcessShard
+    applied_epoch: int = 0
+    alive: bool = True
+
+
+#: Ops a fresh replica may serve.  Everything else — mutations, migration
+#: plumbing, status/metrics/records introspection — routes to the primary.
+_READ_OPS = frozenset({"search", "search-many", "top-k"})
+
+#: Ops that move a shard's epoch: after one of these lands on a primary,
+#: the router ships the new mutation-log tail to that shard's replicas.
+_MUTATING_OPS = frozenset(
+    {"insert", "delete", "insert-many", "delete-many", "compact"})
 
 
 # ----------------------------------------------------------------------
@@ -350,6 +435,10 @@ class ShardRouter:
     migration_batch:
         Records one live-resharding step moves between two shards (bounds
         how long a step blocks queries).
+    replicas_per_shard:
+        Read replicas per shard (>= 0; 0 — the default — disables
+        replication entirely).  See the module docstring's *Read
+        replicas* section for the freshness contract.
 
     Examples
     --------
@@ -369,7 +458,8 @@ class ShardRouter:
                  partition: PartitionStrategy = PartitionStrategy.EVEN,
                  compact_interval: int = 64, policy: str = "hash",
                  backend: str = "auto", migration_batch: int = 256,
-                 kernel: str | SimilarityKernel | None = None) -> None:
+                 kernel: str | SimilarityKernel | None = None,
+                 replicas_per_shard: int = 0) -> None:
         if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
             raise ConfigurationError(
                 f"shards must be a positive integer, got {shards!r}")
@@ -378,6 +468,12 @@ class ShardRouter:
             raise ConfigurationError(
                 f"migration_batch must be a positive integer, "
                 f"got {migration_batch!r}")
+        if (isinstance(replicas_per_shard, bool)
+                or not isinstance(replicas_per_shard, int)
+                or replicas_per_shard < 0):
+            raise ConfigurationError(
+                f"replicas_per_shard must be a non-negative integer, "
+                f"got {replicas_per_shard!r}")
         self.kernel = resolve_kernel(kernel)
         self.max_tau = self.kernel.validate_tau(max_tau)
         self.num_shards = shards
@@ -406,12 +502,26 @@ class ShardRouter:
 
         self._mp_context = (multiprocessing.get_context("fork")
                             if self.backend == "process" else None)
-        self._shards = [
-            self._spawn(ShardContext(records=bucket, max_tau=self.max_tau,
-                                     partition=partition,
-                                     compact_interval=compact_interval,
-                                     kernel=self.kernel.name))
-            for bucket in per_shard]
+        self.replicas_per_shard = replicas_per_shard
+        contexts = [ShardContext(records=bucket, max_tau=self.max_tau,
+                                 partition=partition,
+                                 compact_interval=compact_interval,
+                                 kernel=self.kernel.name,
+                                 log_mutations=replicas_per_shard > 0)
+                    for bucket in per_shard]
+        self._shards = [self._spawn(context) for context in contexts]
+        # Per-shard replica pools (empty lists when replication is off,
+        # so every indexing path stays uniform).
+        self._replicas: list[list[_ReplicaState]] = [
+            self._spawn_replicas(context) for context in contexts]
+        self._read_schedule = ReplicaReadSchedule()
+        # Guards the read-schedule cursors and replica counters — the only
+        # router state concurrent reader threads mutate besides the
+        # per-worker locks.
+        self._read_lock = threading.Lock()
+        self._replication_paused = False
+        self.replica_reads = 0
+        self.replica_fallbacks = 0
         self._epochs = [0] * shards
         # Epochs of retired shards fold into the base so the scalar epoch
         # stays monotone across remove_shard.
@@ -429,6 +539,17 @@ class ShardRouter:
         if self.backend == "process":
             return _ProcessShard(context, self._mp_context)
         return _InProcessShard(context)
+
+    def _spawn_replicas(self, context: ShardContext) -> list[_ReplicaState]:
+        """Spawn the replica pool for one shard (its primary's context).
+
+        Replicas build from the same records — copy-on-write under the
+        process backend — but never log mutations themselves: they are
+        consumers of the primary's log, not producers.
+        """
+        replica_context = replace(context, log_mutations=False)
+        return [_ReplicaState(self._spawn(replica_context))
+                for _ in range(self.replicas_per_shard)]
 
     def _track_live(self, record_id: int, length: int, shard: int) -> None:
         self._shard_of[record_id] = shard
@@ -466,37 +587,214 @@ class ShardRouter:
         would silently read this op's stale answer.  Process shards
         overlap their work across the scatter; in-process shards execute
         inline at ``send`` time.
+
+        Read ops may be served by a fresh replica instead of the primary
+        (:meth:`_read_endpoint`); a replica that fails mid-exchange is
+        marked dead and the read retried on its primary — reads are pure,
+        so the retry is safe and the caller never observes the fault.
+        Every endpoint's lock is held from its send to its recv.  Because
+        ``targets`` is ascending and every endpoint belongs to exactly one
+        shard, all threads acquire endpoint locks in shard order —
+        concurrent scatters cannot deadlock, they only queue per endpoint.
+
+        After a mutating op the affected shards' replicas are synced
+        (unless replication is paused), so replicas regain freshness —
+        and with it read eligibility — immediately.
         """
         first_error: Exception | None = None
-        sent: set[int] = set()
+        serve_from_replica = op in _READ_OPS and self.replicas_per_shard > 0
+        # Aligned with targets: (endpoint worker, _ReplicaState | None for
+        # a primary, send succeeded).
+        exchanges: list[tuple[object, _ReplicaState | None, bool]] = []
         for shard, args in zip(targets, args_list):
+            if serve_from_replica:
+                worker, replica = self._read_endpoint(shard)
+            else:
+                worker, replica = self._shards[shard], None
+            worker.lock.acquire()
             try:
-                self._shards[shard].send(op, args)
-            except Exception as error:  # noqa: BLE001 - re-raised below
+                worker.send(op, args)
+            except Exception as error:  # noqa: BLE001 - handled below
+                worker.lock.release()
+                if replica is not None:
+                    # Dead replica: demote it and re-send on the primary.
+                    self._mark_replica_dead(replica)
+                    worker, replica = self._shards[shard], None
+                    worker.lock.acquire()
+                    try:
+                        worker.send(op, args)
+                    except Exception as primary_error:  # noqa: BLE001
+                        worker.lock.release()
+                        if first_error is None:
+                            first_error = primary_error
+                        exchanges.append((worker, None, False))
+                        continue
+                    exchanges.append((worker, None, True))
+                    continue
                 if first_error is None:
                     first_error = error
-            else:
-                sent.add(shard)
+                exchanges.append((worker, None, False))
+                continue
+            exchanges.append((worker, replica, True))
         payloads: list = []
-        for shard in targets:
-            if shard not in sent:
+        for (worker, replica, was_sent), shard, args in zip(
+                exchanges, targets, args_list):
+            if not was_sent:
                 payloads.append(None)
                 continue
             try:
-                payload, epoch = self._shards[shard].recv()
-            except Exception as error:  # noqa: BLE001 - re-raised below
+                payload, epoch = worker.recv()
+            except Exception as error:  # noqa: BLE001 - handled below
+                worker.lock.release()
+                if replica is not None:
+                    self._mark_replica_dead(replica)
+                    try:
+                        payloads.append(self._primary_retry(shard, op, args))
+                    except Exception as retry_error:  # noqa: BLE001
+                        if first_error is None:
+                            first_error = retry_error
+                        payloads.append(None)
+                    continue
                 if first_error is None:
                     first_error = error
                 payloads.append(None)
             else:
-                self._epochs[shard] = epoch
+                worker.lock.release()
+                if replica is None:
+                    self._epochs[shard] = epoch
+                else:
+                    replica.applied_epoch = epoch
                 payloads.append(payload)
         if first_error is not None:
             raise first_error
+        if op in _MUTATING_OPS and self.replicas_per_shard > 0:
+            for shard in dict.fromkeys(targets):
+                self._sync_replicas(shard)
         return payloads
+
+    def _primary_retry(self, shard: int, op: str, args: object) -> object:
+        """Re-run one read on the shard primary after a replica fault."""
+        worker = self._shards[shard]
+        with worker.lock:
+            worker.send(op, args)
+            payload, epoch = worker.recv()
+        self._epochs[shard] = epoch
+        return payload
 
     def _call(self, shard: int, op: str, args: object) -> object:
         return self._scatter((shard,), op, args)[0]
+
+    # ------------------------------------------------------------------
+    # Read replicas
+    # ------------------------------------------------------------------
+    def _read_endpoint(self, shard: int,
+                       ) -> tuple[object, _ReplicaState | None]:
+        """The worker that should serve a read on ``shard`` right now.
+
+        Eligible replicas are the alive ones whose applied epoch equals
+        the router's epoch mirror — the same per-shard epoch
+        :meth:`epoch_token` folds into cache keys, here acting as the
+        replica-freshness token.  The read schedule rotates across them;
+        with none eligible the primary serves (counted as a fallback when
+        the shard does have replicas configured).
+        """
+        pool = self._replicas[shard]
+        if pool:
+            current = self._epochs[shard]
+            fresh = [index for index, replica in enumerate(pool)
+                     if replica.alive and replica.applied_epoch == current]
+            with self._read_lock:
+                choice = self._read_schedule.choose(shard, fresh)
+                if choice is not None:
+                    self.replica_reads += 1
+                else:
+                    self.replica_fallbacks += 1
+            if choice is not None:
+                return pool[choice].worker, pool[choice]
+        return self._shards[shard], None
+
+    def _mark_replica_dead(self, replica: _ReplicaState) -> None:
+        replica.alive = False
+        with self._read_lock:
+            self.replica_fallbacks += 1
+
+    def _sync_replicas(self, shard: int) -> None:
+        """Ship the primary's mutation-log tail to the shard's replicas.
+
+        Called after every mutation that lands on ``shard``.  Each stale
+        replica replays exactly the entries past its own applied epoch;
+        a replica that fails (or whose replay detects divergence) is
+        marked dead, never served from again.  Afterwards the log is
+        trimmed to the slowest alive replica's epoch, keeping it bounded
+        by replication lag.  A no-op while replication is paused — the
+        lag-injection hook the property tests use — and for shards
+        without replicas.
+        """
+        pool = self._replicas[shard]
+        if not pool or self._replication_paused:
+            return
+        target_epoch = self._epochs[shard]
+        stale = [replica for replica in pool
+                 if replica.alive and replica.applied_epoch < target_epoch]
+        if stale:
+            oldest = min(replica.applied_epoch for replica in stale)
+            entries = self._call(shard, "log-tail", oldest)
+            for replica in stale:
+                tail = [entry for entry in entries
+                        if entry[0] > replica.applied_epoch]
+                try:
+                    with replica.worker.lock:
+                        replica.worker.send("apply-log", tail)
+                        _, epoch = replica.worker.recv()
+                except Exception:  # noqa: BLE001 - replica is demoted
+                    self._mark_replica_dead(replica)
+                    continue
+                replica.applied_epoch = epoch
+        floor = min((replica.applied_epoch
+                     for replica in pool if replica.alive),
+                    default=target_epoch)
+        self._call(shard, "log-trim", floor)
+
+    def pause_replication(self) -> None:
+        """Stop shipping mutations to replicas until :meth:`resume_replication`.
+
+        Mutations keep flowing to the primaries; replicas simply fall
+        behind, lose read eligibility, and every read falls back to the
+        primaries.  This is the lag-injection hook: the property suite
+        uses it to prove that an arbitrarily stale replica is bypassed,
+        never served.
+        """
+        self._replication_paused = True
+
+    def resume_replication(self) -> None:
+        """Resume replication and catch every shard's replicas up now."""
+        self._replication_paused = False
+        for shard in range(self.num_shards):
+            self._sync_replicas(shard)
+
+    def stop_replica(self, shard: int, index: int) -> None:
+        """Stop one replica worker and mark it dead (fault injection).
+
+        The shard keeps answering reads exactly — from its remaining
+        fresh replicas and its primary — and ``replica_status`` reports
+        the stopped replica as degraded.
+        """
+        replica = self._replicas[shard][index]
+        replica.alive = False
+        replica.worker.close()
+
+    def replica_status(self) -> list[list[dict]]:
+        """Per-shard replica health: applied epoch, lag, liveness.
+
+        ``lag`` measures mutation epochs the replica is behind its
+        primary; a fresh replica reads 0.  Feeds ``admin status``'s
+        replica rows and the service's replica metrics.
+        """
+        return [[{"applied_epoch": replica.applied_epoch,
+                  "lag": max(0, self._epochs[shard] - replica.applied_epoch),
+                  "alive": replica.alive}
+                 for replica in pool]
+                for shard, pool in enumerate(self._replicas)]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -607,11 +905,30 @@ class ShardRouter:
         them with :func:`~repro.obs.metrics.merge_snapshots`, following the
         :meth:`status_summary` one-scatter aggregation pattern.  Returns
         ``{"merged": ..., "per_shard": [...]}`` so the ``metrics`` wire op
-        can expose both the fleet total and the per-shard breakdown.
+        can expose both the fleet total and the per-shard breakdown.  With
+        read replicas configured a ``"replicas"`` section is added:
+        routing counters (``replica_reads``/``replica_fallbacks``), the
+        worst alive replica's lag, and the alive/total population — the
+        numbers behind the ``replica_lag_max`` gauge the serving layer
+        exports.
         """
         per_shard = self._scatter(range(self.num_shards), "metrics", None)
-        return {"merged": merge_snapshots(per_shard),
-                "per_shard": per_shard}
+        snapshot = {"merged": merge_snapshots(per_shard),
+                    "per_shard": per_shard}
+        if self.replicas_per_shard > 0:
+            status = self.replica_status()
+            flat = [entry for pool in status for entry in pool]
+            snapshot["replicas"] = {
+                "replica_reads": self.replica_reads,
+                "replica_fallbacks": self.replica_fallbacks,
+                "replica_lag_max": max(
+                    (entry["lag"] for entry in flat if entry["alive"]),
+                    default=0),
+                "replicas_alive": sum(
+                    1 for entry in flat if entry["alive"]),
+                "replicas_total": len(flat),
+            }
+        return snapshot
 
     def shard_sizes(self) -> list[int]:
         """Number of live records per shard (placement balance check)."""
@@ -679,11 +996,16 @@ class ShardRouter:
         :meth:`rebalance_status`.
         """
         self._require_idle()
-        self._shards.append(self._spawn(
-            ShardContext(records=[], max_tau=self.max_tau,
-                         partition=self._partition,
-                         compact_interval=self._compact_interval,
-                         kernel=self.kernel.name)))
+        context = ShardContext(records=[], max_tau=self.max_tau,
+                               partition=self._partition,
+                               compact_interval=self._compact_interval,
+                               kernel=self.kernel.name,
+                               log_mutations=self.replicas_per_shard > 0)
+        self._shards.append(self._spawn(context))
+        # The new shard's replicas start empty at epoch 0 — exactly the
+        # primary's state — so they are fresh (and read-eligible) from
+        # the first moment.
+        self._replicas.append(self._spawn_replicas(context))
         self._epochs.append(0)
         self.num_shards += 1
         self._start_migration("add-shard",
@@ -834,6 +1156,10 @@ class ShardRouter:
             assert donor == self.num_shards - 1
             self._shards[donor].close()
             del self._shards[donor]
+            for replica in self._replicas[donor]:
+                replica.worker.close()
+            del self._replicas[donor]
+            self._read_schedule.reset(donor)
             self._epoch_base += self._epochs[donor]
             del self._epochs[donor]
             self.num_shards -= 1
@@ -1001,6 +1327,9 @@ class ShardRouter:
         self._closed = True
         for shard in self._shards:
             shard.close()
+        for pool in self._replicas:
+            for replica in pool:
+                replica.worker.close()
 
     def __enter__(self) -> "ShardRouter":
         return self

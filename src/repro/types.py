@@ -125,6 +125,7 @@ class JoinStatistics:
     num_results: int = 0
     num_matrix_cells: int = 0
     num_early_terminations: int = 0
+    num_windows_reused: int = 0
     index_entries: int = 0
     index_bytes: int = 0
     selection_seconds: float = 0.0
