@@ -119,6 +119,40 @@ def batch_smoke(client: ServiceClient, host: str, port: int) -> None:
         Path(path).unlink()
 
 
+def top_k_batch_smoke(client: ServiceClient, host: str, port: int) -> None:
+    """Exercise top-k-batch over the wire; assert lockstep-widening parity.
+
+    The second batch uses query strings the query cache has not seen, so
+    its answers are computed, not replayed — and computing them must hit
+    the engine's persistent window cache (selection windows keyed on the
+    index partition threshold survive across batches), which the earlier
+    traffic warmed for the same probe lengths.
+    """
+    queries = ["vldb", "sigmod", "nosuchstring"]
+    batched = client.top_k_batch(queries, 2)
+    assert batched == [client.top_k(query, 2) for query in queries], batched
+
+    counters = client.metrics()["merged"]["counters"]
+    before = counters.get("engine_windows_cache_hits", 0)
+    second = ["wldb", "sigmoe"]  # fresh strings, already-probed lengths
+    batched = client.top_k_batch(second, 2)
+    assert batched == [client.top_k(query, 2) for query in second], batched
+    counters = client.metrics()["merged"]["counters"]
+    after = counters.get("engine_windows_cache_hits", 0)
+    assert after > before, (before, after)
+
+    with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                     delete=False) as handle:
+        handle.write("\n".join(queries) + "\n")
+        path = handle.name
+    try:
+        code = cli_main(["query", "--file", path, "--top-k", "2",
+                         "--host", host, "--port", str(port)])
+        assert code == 0, f"query --file --top-k exited {code}"
+    finally:
+        Path(path).unlink()
+
+
 def sharded_smoke() -> dict:
     """Start a 2-shard server; verify a cross-shard query and mutations.
 
@@ -181,6 +215,10 @@ def sharded_smoke() -> dict:
             assert stats["shards"]["rows_migrated"] > 0, stats
             assert client.search("vldb", tau=1) == matches
             assert client.top_k("sigmod", 2) == top
+
+            # Cross-shard top-k-batch: per-shard lockstep widening must
+            # merge to the same answers as per-query top-k.
+            top_k_batch_smoke(client, host, port)
 
             # The fleet's funnel counters merge across both shards.
             return metrics_smoke(client, expect_shards=2)
@@ -281,6 +319,10 @@ def main(argv: list[str] | None = None) -> int:
             # must agree with per-query searches.
             batch_smoke(client, host, port)
 
+            # Query 5: top-k-batch must agree with per-query top-k, and
+            # its second batch must hit the persistent window cache.
+            top_k_batch_smoke(client, host, port)
+
             # Observability: the stats satellites, the merged metrics
             # snapshot, and the explain trace over everything above.
             stats = client.stats()
@@ -308,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
           f"({stats['queries_served']}+ queries, "
           f"cache hits={stats['cache']['hits']}, "
           f"index bytes={stats['index']['approximate_bytes']}), "
-          f"2-shard cross-shard + batch queries + live "
+          f"2-shard cross-shard + batch queries + top-k-batch + live "
           f"add-shard/remove-shard + metrics/explain funnel + "
           f"token-jaccard kernel pass verified")
     return 0

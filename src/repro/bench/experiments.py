@@ -440,7 +440,7 @@ def service_throughput(scale: float = 1.0, name: str = "author", tau: int = 2,
 def batch_search(scale: float = 1.0, name: str = "author", tau: int = 2,
                  num_queries: int | None = None, batch_size: int = 64,
                  distinct_fraction: float = 0.1,
-                 seed: int = 7) -> ExperimentTable:
+                 seed: int = 7, mixed_tau: bool = False) -> ExperimentTable:
     """Per-query ``search()`` vs the grouped ``search_many()`` batch path.
 
     A repeated-query workload (``distinct_fraction`` of the requests are
@@ -450,6 +450,14 @@ def batch_search(scale: float = 1.0, name: str = "author", tau: int = 2,
     probes duplicate queries once and shares the selection-window
     computation between same-length queries.  Both runs must return
     element-identical results per query — the benchmark asserts it.
+
+    With ``mixed_tau`` every query draws its own threshold from
+    ``1..tau``, the workload where the v2 executor's persistent window
+    cache and fused posting scans matter: selection windows depend only on
+    the index partition threshold, so same-length queries share them even
+    across different per-query taus and across batches.  The
+    ``windows_cache_hits`` and ``postings_fanout`` columns record the
+    per-run deltas of the matching funnel counters.
 
     The table also records the columnar index memory
     (:meth:`SegmentIndex.memory_report
@@ -471,18 +479,35 @@ def batch_search(scale: float = 1.0, name: str = "author", tau: int = 2,
     pool = [apply_random_edits(rng.choice(strings), rng.randint(0, tau), rng)
             for _ in range(distinct)]
     workload = [rng.choice(pool) for _ in range(num_queries)]
+    if mixed_tau:
+        taus = [rng.randint(1, max(1, tau)) for _ in workload]
+    else:
+        taus = [tau] * len(workload)
 
     searcher = PassJoinSearcher(strings, max_tau=tau)
     memory = searcher._index.memory_report()
     object_bytes = searcher._index.object_layout_bytes()
 
+    def funnel_counters() -> tuple[int, int]:
+        stats = searcher.statistics
+        return stats.num_windows_cache_hits, stats.num_postings_fanout
+
+    marker = funnel_counters()
     with Timer() as sequential_timer:
-        sequential = [searcher.search(query, tau) for query in workload]
+        sequential = [searcher.search(query, query_tau)
+                      for query, query_tau in zip(workload, taus)]
+    after = funnel_counters()
+    sequential_counters = tuple(now - then
+                                for now, then in zip(after, marker))
+    marker = after
     with Timer() as batch_timer:
         batched: list = []
         for start in range(0, len(workload), batch_size):
             batched.extend(searcher.search_many(
-                workload[start:start + batch_size], tau))
+                workload[start:start + batch_size],
+                taus[start:start + batch_size]))
+    batch_counters = tuple(now - then for now, then
+                           in zip(funnel_counters(), marker))
     if batched != sequential:
         raise AssertionError(
             "batch-probe executor disagrees with per-query search")
@@ -492,23 +517,30 @@ def batch_search(scale: float = 1.0, name: str = "author", tau: int = 2,
         title="Batch-probe executor: sequential vs batched search",
         columns=["dataset", "tau", "queries", "distinct", "batch_size",
                  "mode", "seconds", "qps", "speedup", "total_matches",
+                 "windows_cache_hits", "postings_fanout",
                  "index_bytes", "object_index_bytes"],
         notes=f"{distinct} distinct queries repeated to {num_queries} "
               f"requests in batches of {batch_size}; results asserted "
-              "element-identical; index_bytes is the columnar layout "
-              "(postings + record columns), object_index_bytes the "
-              "estimated pre-columnar object-list layout; " + _SCALE_NOTE,
+              "element-identical; windows_cache_hits / postings_fanout are "
+              "the per-run funnel-counter deltas; index_bytes is the "
+              "columnar layout (postings + record columns), "
+              "object_index_bytes the estimated pre-columnar object-list "
+              "layout; " + _SCALE_NOTE,
     )
+    tau_label = f"1..{max(1, tau)}" if mixed_tau else tau
     baseline_seconds = sequential_timer.seconds
-    for mode, seconds, results in (
-            ("sequential", sequential_timer.seconds, sequential),
-            ("batch", batch_timer.seconds, batched)):
-        table.add_row(dataset=name, tau=tau, queries=num_queries,
+    for mode, seconds, results, counters in (
+            ("sequential", sequential_timer.seconds, sequential,
+             sequential_counters),
+            ("batch", batch_timer.seconds, batched, batch_counters)):
+        table.add_row(dataset=name, tau=tau_label, queries=num_queries,
                       distinct=distinct, batch_size=batch_size, mode=mode,
                       seconds=round(seconds, 6),
                       qps=round(num_queries / max(seconds, 1e-9), 1),
                       speedup=round(baseline_seconds / max(seconds, 1e-9), 3),
                       total_matches=sum(len(matches) for matches in results),
+                      windows_cache_hits=counters[0],
+                      postings_fanout=counters[1],
                       index_bytes=memory["approximate_bytes"],
                       object_index_bytes=object_bytes)
     return table

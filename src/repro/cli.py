@@ -148,7 +148,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="the query string (omit when using --file)")
     query.add_argument("--file", default=None,
                        help="file of query strings (one per line), sent as "
-                            "one search-batch request")
+                            "one search-batch request (or one top-k-batch "
+                            "request when combined with --top-k)")
     query.add_argument("--tau", type=int, default=None,
                        help="distance threshold (default: the "
                             "server's maximum)")
@@ -321,10 +322,6 @@ def _command_query(args: argparse.Namespace) -> int:
         print("provide exactly one of a query string or --file",
               file=sys.stderr)
         return 2
-    if args.file is not None and args.top_k is not None:
-        print("--top-k is a per-query search; it cannot be combined with "
-              "--file", file=sys.stderr)
-        return 2
     if args.explain and (args.file is not None or args.top_k is not None):
         print("--explain traces one threshold search; it cannot be combined "
               "with --file or --top-k", file=sys.stderr)
@@ -343,8 +340,13 @@ def _command_query(args: argparse.Namespace) -> int:
                 return 0
             if args.file is not None:
                 queries = load_strings(args.file)
-                results = client.search_batch(queries, args.tau,
-                                              kernel=args.kernel)
+                if args.top_k is not None:
+                    results = client.top_k_batch(queries, args.top_k,
+                                                 args.tau,
+                                                 kernel=args.kernel)
+                else:
+                    results = client.search_batch(queries, args.tau,
+                                                  kernel=args.kernel)
                 total = 0
                 for query, matches in zip(queries, results):
                     for match in matches:

@@ -26,14 +26,19 @@ point, so a :class:`~repro.types.StringRecord` is only materialised for
 candidates the verifier actually touches (and, for the batched Myers
 verifier, only for candidates it *accepts*).
 
-:func:`probe_many` is the batch-probe executor on top of the same pipeline:
-a whole batch of ``(query, tau)`` lookups is answered in one pass, with
-duplicate queries executed once and the selection windows of every
-``(query length, indexed length)`` combination computed once per batch —
-shared even across groups that differ only in ``tau``, since the window
-formula depends on the index partition threshold, not the per-query one
-(scan sharing for the select phase; reuse counted as
-``num_windows_reused`` in the funnel).
+:func:`probe_many` is the v2 batch-probe executor on top of the same
+pipeline: a whole batch of ``(query, tau)`` lookups is answered in one
+pass, with duplicate queries executed once and the selection windows of
+every ``(query length, indexed length)`` combination resolved through a
+:class:`~repro.core.selection.WindowCache` — shared across groups that
+differ only in ``tau`` (the window formula depends on the index partition
+threshold, not the per-query one), and, when the caller passes its
+persistent cache, across batches and across ``search``/``search_many``/
+``explain`` calls too (hits counted as ``num_windows_cache_hits``,
+within-batch reuse as ``num_windows_reused``).  When several queries in a
+group probe the same posting list, the list is scanned once and the
+surviving row ordinals fan out to every interested query before
+verification (``num_postings_fanout``).
 """
 
 from __future__ import annotations
@@ -46,7 +51,7 @@ from ..distance.banded import length_aware_edit_distance
 from ..types import JoinStatistics, StringRecord
 from .index import SegmentIndex
 from .partition import can_partition
-from .selection import SubstringSelector
+from .selection import SubstringSelector, WindowCache, substrings_from_windows
 from .verify import BaseVerifier, MatchContext
 
 if TYPE_CHECKING:
@@ -90,6 +95,7 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
                  allow_same_id: bool = False,
                  accept: Callable[[int], bool] | None = None,
                  trace: "ProbeTrace | None" = None,
+                 window_cache: WindowCache | None = None,
                  ) -> list[tuple[StringRecord, int]]:
     """Find indexed (and short-pool) strings similar to ``probe``.
 
@@ -103,6 +109,11 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
     ``trace`` optionally collects a per-indexed-length breakdown for the
     ``explain`` op.  The per-posting filter loop is duplicated so that the
     untraced hot path executes unchanged when ``trace`` is ``None``.
+
+    ``window_cache`` optionally resolves selection windows through a
+    persistent :class:`~repro.core.selection.WindowCache` (hits counted as
+    ``num_windows_cache_hits``) instead of recomputing them per probe; the
+    substrings are then sliced from the cached windows.
     """
     found: dict[int, int] = {}
     checked: set[int] = set()
@@ -139,7 +150,12 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
         layout = index.layout(length)
 
         selection_started = time.perf_counter()
-        selections = selector.select(probe.text, length, layout)
+        if window_cache is None:
+            selections = selector.select(probe.text, length, layout)
+        else:
+            selections = substrings_from_windows(
+                probe.text,
+                window_cache.windows(probe.length, length, layout, stats))
         stats.selection_seconds += time.perf_counter() - selection_started
         stats.num_selected_substrings += len(selections)
         entry = (None if trace is None
@@ -221,15 +237,16 @@ def probe_record(probe: StringRecord, *, tau: int, index: SegmentIndex,
 class _BatchQueryState:
     """Per-unique-query accumulator of one :func:`probe_many` group."""
 
-    __slots__ = ("text", "positions", "found", "matches", "checked")
+    __slots__ = ("text", "positions", "found", "matches", "checked", "accept")
 
-    def __init__(self, text: str, positions: list[int],
-                 skip_rechecks: bool) -> None:
+    def __init__(self, text: str, positions: list[int], skip_rechecks: bool,
+                 accept: Callable[[int], bool] | None) -> None:
         self.text = text
         self.positions = positions
         self.found: dict[int, int] = {}
         self.matches: list[tuple[StringRecord, int]] = []
         self.checked: set[int] | None = set() if skip_rechecks else None
+        self.accept = accept
 
 
 def probe_many(queries: Sequence[tuple[str, int]], *, index: SegmentIndex,
@@ -237,57 +254,88 @@ def probe_many(queries: Sequence[tuple[str, int]], *, index: SegmentIndex,
                selector: SubstringSelector,
                verifier_factory: Callable[[int], BaseVerifier],
                stats: JoinStatistics,
-               accept: Callable[[int], bool] | None = None,
+               accept: (Callable[[int], bool]
+                        | Sequence[Callable[[int], bool] | None] | None) = None,
+               window_cache: WindowCache | None = None,
                ) -> list[list[tuple[StringRecord, int]]]:
     """Answer a batch of ``(query text, tau)`` searches in one grouped pass.
 
-    The batch executor behind ``search_many()``:
+    The v2 batch executor behind ``search_many()`` and the batch-aware
+    top-k widening:
 
-    1. **Deduplicate** — identical ``(query, tau)`` pairs are probed once
-       and their result is fanned out to every occurrence.
+    1. **Deduplicate** — identical ``(query, tau)`` pairs (under the same
+       ``accept`` predicate) are probed once and their result is fanned
+       out to every occurrence.
     2. **Group by shape** — unique queries are grouped by
        ``(query length, tau)``.  Selection windows depend only on the
-       probe *length*, the indexed length, and ``tau``, so each group
-       computes the window set of every candidate indexed length once and
-       every member query merely slices its own substrings out of it.
-    3. **Stream verification** — candidates are filtered on the columnar
-       postings by record id and verified per query exactly as in
-       :func:`probe_record`, so each result list is element-identical to
-       the per-query pipeline (the property-test contract).
+       probe *length* and the indexed length (the selector's tau is the
+       index partition threshold, not the per-query one), so every window
+       set is resolved through a :class:`~repro.core.selection.WindowCache`
+       — per-call when none is passed, the caller's persistent one
+       otherwise, sharing windows across batches and across tau groups
+       alike (``num_windows_cache_hits``; within-call cross-group reuse is
+       additionally counted as ``num_windows_reused``).
+    3. **Fused candidate accumulation** — when several queries in a group
+       probe the same posting list (same indexed length, ordinal, and
+       substring), the list is scanned once and the row ordinals fan out
+       to every interested query (``num_postings_fanout`` counts the
+       scans saved), each query then applying its own id filters.
+    4. **Stream verification** — candidates are verified per query exactly
+       as in :func:`probe_record`, so each result list is
+       element-identical to the per-query pipeline (the property-test
+       contract).
 
     Queries are treated as external probes (the search use case): no
     same-id filtering is applied beyond the optional ``accept`` predicate
-    on candidate record ids.  Returns one ``(record, distance)`` list per
-    input position, aligned with ``queries``.
+    on candidate record ids.  ``accept`` is either one predicate applied
+    to every query or a sequence aligned with ``queries`` (one predicate
+    or ``None`` per position) — the hook the batch top-k widening uses to
+    exclude each query's already-found partners.  Returns one
+    ``(record, distance)`` list per input position, aligned with
+    ``queries``.
     """
     results: list[list[tuple[StringRecord, int]]] = [[] for _ in queries]
-    unique: dict[tuple[str, int], list[int]] = {}
-    for position, item in enumerate(queries):
-        unique.setdefault(item, []).append(position)
-    groups: dict[tuple[int, int], list[tuple[str, list[int]]]] = {}
-    for (text, tau), positions in unique.items():
-        groups.setdefault((len(text), tau), []).append((text, positions))
+    if accept is None or callable(accept):
+        accepts: list[Callable[[int], bool] | None] = [accept] * len(queries)
+    else:
+        accepts = list(accept)
+        if len(accepts) != len(queries):
+            raise ValueError(
+                f"accept sequence length {len(accepts)} does not match "
+                f"{len(queries)} queries")
+    if window_cache is None:
+        window_cache = WindowCache(selector)
 
-    # Selection windows are a pure function of (probe length, indexed
-    # length) — the selector's tau is the *index* partition threshold, not
-    # the per-query one — so groups that differ only in tau (same query
-    # length, different thresholds) share their window sets across the
-    # whole batch instead of recomputing them per group.
-    window_cache: dict[tuple[int, int], list] = {}
+    unique: dict[tuple, list[int]] = {}
+    for position, (text, tau) in enumerate(queries):
+        unique.setdefault((text, tau, accepts[position]), []).append(position)
+    groups: dict[tuple[int, int],
+                 list[tuple[str, list[int],
+                            Callable[[int], bool] | None]]] = {}
+    for (text, tau, query_accept), positions in unique.items():
+        groups.setdefault((len(text), tau), []).append(
+            (text, positions, query_accept))
 
-    for (query_length, tau), members in sorted(groups.items()):
+    # Tracks (query length, indexed length) pairs already resolved during
+    # *this* call so cross-group sharing within one batch keeps its own
+    # counter next to the persistent cache's hit counter.
+    seen_windows: set[tuple[int, int]] = set()
+
+    for (query_length, tau), members in sorted(groups.items(),
+                                               key=lambda item: item[0]):
         verifier = verifier_factory(tau)
         skip_rechecks = verifier.exact_per_pair
-        states = [_BatchQueryState(text, positions, skip_rechecks)
-                  for text, positions in members]
+        states = [_BatchQueryState(text, positions, skip_rechecks, query_accept)
+                  for text, positions, query_accept in members]
 
         # Strings too short to partition are verified directly, per query.
         for record in short_pool:
-            if accept is not None and not accept(record.id):
-                continue
             if abs(record.length - query_length) > tau:
                 continue
             for state in states:
+                state_accept = state.accept
+                if state_accept is not None and not state_accept(record.id):
+                    continue
                 verification_started = time.perf_counter()
                 stats.num_verifications += 1
                 distance = length_aware_edit_distance(record.text, state.text,
@@ -302,67 +350,105 @@ def probe_many(queries: Sequence[tuple[str, int]], *, index: SegmentIndex,
             if not index.has_length(length):
                 continue
             layout = index.layout(length)
-            windows = window_cache.get((query_length, length))
-            if windows is None:
-                selection_started = time.perf_counter()
-                # One window computation for every query in the group — the
-                # batch saving probe_record pays per query.
-                windows = selector.windows(query_length, length, layout)
-                stats.selection_seconds += (
-                    time.perf_counter() - selection_started)
-                window_cache[(query_length, length)] = windows
-            else:
+            if (query_length, length) in seen_windows:
                 stats.num_windows_reused += 1
-            for state in states:
-                text = state.text
-                found = state.found
-                checked = state.checked
-                for window in windows:
-                    size = window.size
-                    if size <= 0:
-                        continue
-                    stats.num_selected_substrings += size
-                    seg_length = window.seg_length
-                    for start in range(window.lo, window.hi + 1):
+            else:
+                seen_windows.add((query_length, length))
+            selection_started = time.perf_counter()
+            windows = window_cache.windows(query_length, length, layout, stats)
+            stats.selection_seconds += time.perf_counter() - selection_started
+
+            for window in windows:
+                size = window.size
+                if size <= 0:
+                    continue
+                seg_length = window.seg_length
+                ordinal = window.ordinal
+                seg_start = window.seg_start
+                stats.num_selected_substrings += size * len(states)
+                for start in range(window.lo, window.hi + 1):
+                    if len(states) == 1:
+                        # Dominant case (all-distinct shapes): no fusion
+                        # bookkeeping, same inner loop as the per-query path.
+                        probers = ((states[0].text[start:start + seg_length],
+                                    states),)
+                    else:
+                        by_substring: dict[str, list[_BatchQueryState]] = {}
+                        for state in states:
+                            by_substring.setdefault(
+                                state.text[start:start + seg_length],
+                                []).append(state)
+                        probers = tuple(by_substring.items())
+                    for substring, interested in probers:
                         stats.num_index_probes += 1
-                        postings = index.lookup(
-                            length, window.ordinal,
-                            text[start:start + seg_length])
+                        postings = index.lookup(length, ordinal, substring)
                         if not postings:
                             continue
                         stats.num_postings_scanned += len(postings)
+                        if len(interested) > 1:
+                            # One scan of this posting list serves every
+                            # interested query in the group.
+                            stats.num_postings_fanout += len(interested) - 1
                         store = postings.store
                         store_ids = store.ids
-                        rows = []
-                        row_ids = []
-                        for row in postings.ordinals:
-                            record_id = store_ids[row]
-                            if accept is not None and not accept(record_id):
+                        if len(interested) > 1:
+                            # Resolve the id column once; each query applies
+                            # its own filters to the shared (row, id) stream.
+                            candidates = [(row, store_ids[row])
+                                          for row in postings.ordinals]
+                        else:
+                            candidates = None
+                        context = None
+                        for state in interested:
+                            found = state.found
+                            checked = state.checked
+                            state_accept = state.accept
+                            rows = []
+                            row_ids = []
+                            if candidates is None:
+                                for row in postings.ordinals:
+                                    record_id = store_ids[row]
+                                    if (state_accept is not None
+                                            and not state_accept(record_id)):
+                                        continue
+                                    if record_id in found:
+                                        continue
+                                    if (checked is not None
+                                            and record_id in checked):
+                                        continue
+                                    rows.append(row)
+                                    row_ids.append(record_id)
+                            else:
+                                for row, record_id in candidates:
+                                    if (state_accept is not None
+                                            and not state_accept(record_id)):
+                                        continue
+                                    if record_id in found:
+                                        continue
+                                    if (checked is not None
+                                            and record_id in checked):
+                                        continue
+                                    rows.append(row)
+                                    row_ids.append(record_id)
+                            if not rows:
                                 continue
-                            if record_id in found:
-                                continue
-                            if checked is not None and record_id in checked:
-                                continue
-                            rows.append(row)
-                            row_ids.append(record_id)
-                        if not rows:
-                            continue
-                        stats.num_candidates += len(rows)
-                        context = MatchContext(ordinal=window.ordinal,
-                                               probe_start=start,
-                                               seg_start=window.seg_start,
-                                               seg_length=seg_length)
-                        verification_started = time.perf_counter()
-                        accepted = verifier.verify_rows(
-                            text, store, rows, context)
-                        stats.verification_seconds += (
-                            time.perf_counter() - verification_started)
-                        if checked is not None:
-                            checked.update(row_ids)
-                        for record, distance in accepted:
-                            if record.id not in found:
-                                found[record.id] = distance
-                                state.matches.append((record, distance))
+                            stats.num_candidates += len(rows)
+                            if context is None:
+                                context = MatchContext(ordinal=ordinal,
+                                                       probe_start=start,
+                                                       seg_start=seg_start,
+                                                       seg_length=seg_length)
+                            verification_started = time.perf_counter()
+                            accepted = verifier.verify_rows(
+                                state.text, store, rows, context)
+                            stats.verification_seconds += (
+                                time.perf_counter() - verification_started)
+                            if checked is not None:
+                                checked.update(row_ids)
+                            for record, distance in accepted:
+                                if record.id not in found:
+                                    found[record.id] = distance
+                                    state.matches.append((record, distance))
 
         for state in states:
             # Counted once per unique query (not per fan-out position), so

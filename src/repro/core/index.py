@@ -72,6 +72,10 @@ class SegmentIndex:
         self._bytes_by_length: dict[int, int] = {}
         self._current_entries = 0
         self._current_bytes = 0
+        # Bumped whenever the *set* of indexed lengths changes (a length
+        # group appears or disappears) — the invalidation signal consumed
+        # by the kernel backends' persistent window caches.
+        self._lengths_version = 0
 
     # ------------------------------------------------------------------
     # Building
@@ -94,6 +98,8 @@ class SegmentIndex:
         if not can_partition(length, self.tau):
             return 0
         row = self.store.intern(record)
+        if length not in self._indices:
+            self._lengths_version += 1
         per_length = self._indices.setdefault(length, {})
         added_bytes = 0
         for segment in partition(record.text, self.tau, self.strategy):
@@ -175,6 +181,7 @@ class SegmentIndex:
             self._records_per_length.pop(length, None)
         if not per_length:
             self._indices.pop(length, None)
+            self._lengths_version += 1
         self._entries_by_length[length] = (
             self._entries_by_length.get(length, 0) - removed)
         self._bytes_by_length[length] = (
@@ -237,6 +244,8 @@ class SegmentIndex:
         the record table bounded by the live window too.
         """
         stale = [length for length in self._indices if length < min_length]
+        if stale:
+            self._lengths_version += 1
         for length in stale:
             per_length = self._indices.pop(length)
             for postings in per_length.get(1, {}).values():
@@ -246,6 +255,17 @@ class SegmentIndex:
             self._current_entries -= self._entries_by_length.pop(length, 0)
             self._current_bytes -= self._bytes_by_length.pop(length, 0)
         return len(stale)
+
+    @property
+    def lengths_version(self) -> int:
+        """Generation counter of the indexed length *set*.
+
+        Changes exactly when a length group is created or destroyed
+        (:meth:`add` of a first record, :meth:`remove` of a last record,
+        :meth:`evict_below`).  Persistent window caches compare it against
+        the value they last saw and clear themselves on mismatch.
+        """
+        return self._lengths_version
 
     @property
     def segment_count(self) -> int:

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from collections import Counter
+from collections import Counter, OrderedDict
 from typing import (TYPE_CHECKING, Any, Callable, Collection, Iterable,
                     Sequence)
 
@@ -64,7 +64,7 @@ from ..types import JoinStatistics, StringRecord
 from .engine import probe_many, probe_record
 from .index import SegmentIndex
 from .partition import can_partition
-from .selection import MultiMatchAwareSelector
+from .selection import MultiMatchAwareSelector, WindowCache
 from .verify import make_verifier
 
 if TYPE_CHECKING:
@@ -159,23 +159,39 @@ class KernelBackend(ABC):
 
     def probe_many(self, queries: Sequence[tuple[str, int]], *,
                    stats: JoinStatistics,
-                   accept: Callable[[int], bool] | None = None,
+                   accept: (Callable[[int], bool]
+                            | Sequence[Callable[[int], bool] | None]
+                            | None) = None,
                    verifier_factory: Callable[[int], Any] | None = None,
                    ) -> list[list[tuple[StringRecord, int]]]:
         """Batch :meth:`probe`: one result list per ``(query, tau)`` input.
 
-        The default deduplicates identical ``(query, tau)`` pairs and
-        probes each once; kernels with deeper batch structure (the
-        edit-distance selection-window sharing) override it.
+        ``accept`` is one predicate applied to every query or a sequence
+        aligned with ``queries`` (one predicate or ``None`` per position
+        — what the batch top-k widening uses to exclude each query's own
+        earlier hits).  The default deduplicates identical
+        ``(query, tau)`` pairs under the same predicate and probes each
+        once; kernels with deeper batch structure (the edit-distance
+        selection-window sharing) override it.
         """
         results: list[list[tuple[StringRecord, int]]] = [[] for _ in queries]
-        unique: dict[tuple[str, int], list[int]] = {}
-        for position, item in enumerate(queries):
-            unique.setdefault(item, []).append(position)
-        for (text, tau), positions in unique.items():
+        if accept is None or callable(accept):
+            accepts: list[Callable[[int], bool] | None] = (
+                [accept] * len(queries))
+        else:
+            accepts = list(accept)
+            if len(accepts) != len(queries):
+                raise ValueError(
+                    f"accept sequence length {len(accepts)} does not match "
+                    f"{len(queries)} queries")
+        unique: dict[tuple, list[int]] = {}
+        for position, (text, tau) in enumerate(queries):
+            unique.setdefault((text, tau, accepts[position]),
+                              []).append(position)
+        for (text, tau, query_accept), positions in unique.items():
             verifier = (None if verifier_factory is None
                         else verifier_factory(tau))
-            matches = self.probe(text, tau, stats=stats, accept=accept,
+            matches = self.probe(text, tau, stats=stats, accept=query_accept,
                                  verifier=verifier)
             for position in positions:
                 results[position] = list(matches)
@@ -263,6 +279,15 @@ class EditDistanceBackend(KernelBackend):
         self.index = SegmentIndex(max_tau, partition)
         self.selector = MultiMatchAwareSelector(max_tau)
         self.short_pool: dict[int, StringRecord] = {}
+        # Persistent selection-window cache, shared across search /
+        # search_many / explain calls and across batches.  Windows are pure
+        # in (probe length, indexed length) under this backend's fixed
+        # partition threshold and never hold row ordinals, so staleness is
+        # impossible; the cache is still dropped whenever the indexed
+        # length *set* changes (remove / compact / evict_below) so keys for
+        # dead lengths do not pin memory.
+        self.window_cache = WindowCache(self.selector)
+        self._cache_lengths_version = self.index.lengths_version
 
     def add(self, record: StringRecord) -> int:
         if can_partition(record.length, self.max_tau):
@@ -276,6 +301,14 @@ class EditDistanceBackend(KernelBackend):
     def new_verifier(self, tau: int, stats: JoinStatistics) -> Any:
         return make_verifier(self.verification, tau, stats)
 
+    def active_window_cache(self) -> WindowCache:
+        """The persistent window cache, cleared if the length set changed."""
+        version = self.index.lengths_version
+        if version != self._cache_lengths_version:
+            self.window_cache.clear()
+            self._cache_lengths_version = version
+        return self.window_cache
+
     def probe(self, query: str, tau: int, *, stats: JoinStatistics,
               accept: Callable[[int], bool] | None = None,
               trace: "ProbeTrace | None" = None,
@@ -287,11 +320,13 @@ class EditDistanceBackend(KernelBackend):
             short_pool=list(self.short_pool.values()),
             selector=self.selector, verifier=verifier, stats=stats,
             max_length=len(query) + tau, allow_same_id=True, accept=accept,
-            trace=trace)
+            trace=trace, window_cache=self.active_window_cache())
 
     def probe_many(self, queries: Sequence[tuple[str, int]], *,
                    stats: JoinStatistics,
-                   accept: Callable[[int], bool] | None = None,
+                   accept: (Callable[[int], bool]
+                            | Sequence[Callable[[int], bool] | None]
+                            | None) = None,
                    verifier_factory: Callable[[int], Any] | None = None,
                    ) -> list[list[tuple[StringRecord, int]]]:
         if verifier_factory is None:
@@ -301,7 +336,8 @@ class EditDistanceBackend(KernelBackend):
             queries, index=self.index,
             short_pool=list(self.short_pool.values()),
             selector=self.selector, verifier_factory=verifier_factory,
-            stats=stats, accept=accept)
+            stats=stats, accept=accept,
+            window_cache=self.active_window_cache())
 
     def entry_count(self) -> int:
         return self.index.current_entry_count
@@ -421,6 +457,14 @@ class TokenJaccardBackend(KernelBackend):
         # id -> (record, tokens sorted under the frozen order).
         self._rows: dict[int, tuple[StringRecord, tuple[str, ...]]] = {}
         self._entries = 0
+        # Probe-side analogue of the edit-distance window cache: the token
+        # order is frozen at construction, so a query's sorted token tuple
+        # (what the probe prefix is sliced from) is pure in its text and
+        # can persist across probes and batches.  Bounded LRU; hits are
+        # counted as ``num_windows_cache_hits`` like window-cache hits.
+        self.probe_cache_capacity = 4096
+        self._probe_token_cache: OrderedDict[str, tuple[str, ...]] = (
+            OrderedDict())
 
     # -- signature generation ------------------------------------------
     def sorted_tokens(self, text: str) -> tuple[str, ...]:
@@ -430,6 +474,20 @@ class TokenJaccardBackend(KernelBackend):
             tokenize(text),
             key=lambda token: ((0, rank[token]) if token in rank
                                else (1, token))))
+
+    def probe_sorted_tokens(self, text: str,
+                            stats: JoinStatistics) -> tuple[str, ...]:
+        """:meth:`sorted_tokens` through the persistent probe cache."""
+        cached = self._probe_token_cache.get(text)
+        if cached is not None:
+            self._probe_token_cache.move_to_end(text)
+            stats.num_windows_cache_hits += 1
+            return cached
+        tokens = self.sorted_tokens(text)
+        self._probe_token_cache[text] = tokens
+        if len(self._probe_token_cache) > self.probe_cache_capacity:
+            self._probe_token_cache.popitem(last=False)
+        return tokens
 
     def _index_prefix_len(self, size: int) -> int:
         return size - _min_overlap(self.max_tau, size) + 1
@@ -500,7 +558,7 @@ class TokenJaccardBackend(KernelBackend):
             stats.num_accepted += len(matches)
             return matches
 
-        sorted_query = self.sorted_tokens(query)
+        sorted_query = self.probe_sorted_tokens(query, stats)
         lo, hi = self.kernel.probe_key_range(query, tau)
         selection_started = time.perf_counter()
         prefix = sorted_query[:self._query_prefix_len(len(sorted_query), tau)]

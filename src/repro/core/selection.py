@@ -26,10 +26,14 @@ substring range ``[0, |s| − l_i]``.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import NamedTuple, Sequence
+from collections import OrderedDict
+from typing import TYPE_CHECKING, NamedTuple, Sequence
 
 from ..config import SelectionMethod, validate_threshold
 from ..exceptions import UnknownMethodError
+
+if TYPE_CHECKING:
+    from ..types import JoinStatistics
 
 
 class SelectedSubstring(NamedTuple):
@@ -55,6 +59,25 @@ class Window(NamedTuple):
     def size(self) -> int:
         """Number of start positions in the window (0 when empty)."""
         return max(0, self.hi - self.lo + 1)
+
+
+def substrings_from_windows(probe: str, windows: Sequence[Window],
+                            ) -> list[SelectedSubstring]:
+    """Materialise the selected substrings of ``probe`` from its windows."""
+    selections: list[SelectedSubstring] = []
+    for window in windows:
+        seg_length = window.seg_length
+        for start in range(window.lo, window.hi + 1):
+            selections.append(
+                SelectedSubstring(
+                    ordinal=window.ordinal,
+                    start=start,
+                    text=probe[start:start + seg_length],
+                    seg_start=window.seg_start,
+                    seg_length=seg_length,
+                )
+            )
+    return selections
 
 
 class SubstringSelector(ABC):
@@ -86,19 +109,8 @@ class SubstringSelector(ABC):
     def select(self, probe: str, indexed_length: int,
                layout: Sequence[tuple[int, int]]) -> list[SelectedSubstring]:
         """Materialise the selected substrings of ``probe`` for one index length."""
-        selections: list[SelectedSubstring] = []
-        for window in self.windows(len(probe), indexed_length, layout):
-            for start in range(window.lo, window.hi + 1):
-                selections.append(
-                    SelectedSubstring(
-                        ordinal=window.ordinal,
-                        start=start,
-                        text=probe[start:start + window.seg_length],
-                        seg_start=window.seg_start,
-                        seg_length=window.seg_length,
-                    )
-                )
-        return selections
+        return substrings_from_windows(
+            probe, self.windows(len(probe), indexed_length, layout))
 
     def count(self, probe_length: int, indexed_length: int,
               layout: Sequence[tuple[int, int]]) -> int:
@@ -152,6 +164,70 @@ class MultiMatchAwareSelector(SubstringSelector):
         right_lo = seg_start + delta - (tau + 1 - ordinal)
         right_hi = seg_start + delta + (tau + 1 - ordinal)
         return max(left_lo, right_lo), min(left_hi, right_hi)
+
+
+class WindowCache:
+    """Bounded LRU cache of selection windows, persistent across probes.
+
+    Selection windows are a pure function of ``(probe length, indexed
+    length)`` once the selector (whose ``tau`` is the *index partition
+    threshold*, not the per-query one) and the partition layout rule are
+    fixed — which they are for the lifetime of one index.  A
+    :class:`Window` carries segment geometry only, never row ordinals, so a
+    cached window can never point at a released store row: posting lookups
+    always go through the live index.  The capacity bound and
+    :meth:`clear` therefore exist to cap memory (e.g. after the indexed
+    length set changes and old keys go cold), not for correctness.
+
+    Hits are counted both on the cache object (``hits``/``misses``) and,
+    when a :class:`~repro.types.JoinStatistics` is passed, into
+    ``num_windows_cache_hits`` — the ``engine_windows_cache_hits`` funnel
+    counter.
+    """
+
+    __slots__ = ("selector", "capacity", "hits", "misses", "_entries")
+
+    def __init__(self, selector: SubstringSelector,
+                 capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("WindowCache capacity must be >= 1")
+        self.selector = selector
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple[int, int], list[Window]] = (
+            OrderedDict())
+
+    def windows(self, probe_length: int, indexed_length: int,
+                layout: Sequence[tuple[int, int]],
+                stats: "JoinStatistics | None" = None) -> list[Window]:
+        """Return the cached windows for ``(probe_length, indexed_length)``.
+
+        ``layout`` must be the index's layout for ``indexed_length`` — the
+        cache trusts the caller because the layout is itself a pure
+        function of the indexed length under a fixed index.
+        """
+        key = (probe_length, indexed_length)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if stats is not None:
+                stats.num_windows_cache_hits += 1
+            return cached
+        self.misses += 1
+        windows = self.selector.windows(probe_length, indexed_length, layout)
+        self._entries[key] = windows
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return windows
+
+    def clear(self) -> None:
+        """Drop every cached window set (the invalidation hook)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 _SELECTORS: dict[SelectionMethod, type[SubstringSelector]] = {

@@ -301,6 +301,42 @@ class PassJoinSearcher:
                 break
         return best[:k]
 
+    def search_top_k_many(self, queries: Sequence[str], k: int,
+                          max_tau: int | None = None,
+                          kernel: "str | Sequence[str | None] | None" = None,
+                          ) -> list[list[SearchMatch]]:
+        """Batch :meth:`search_top_k`: widen tau in lockstep across queries.
+
+        Every round runs one :func:`~repro.core.engine.probe_many` pass
+        over the queries that still have fewer than ``k`` matches, so the
+        whole batch shares selection windows (and the persistent window
+        cache) per tau round instead of re-probing per query; queries that
+        reach ``k`` matches retire from later rounds.  Each result list is
+        element-identical to ``search_top_k(query, k, max_tau)`` — the
+        property-test contract.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        check_batch_kernels(self.kernel, kernel)
+        limit = self.max_tau if max_tau is None else min(
+            self.kernel.validate_tau(max_tau), self.max_tau)
+        stats = self.statistics
+        best: list[list[SearchMatch]] = [[] for _ in queries]
+        active = list(range(len(queries)))
+        for tau in range(0, limit + 1):
+            if not active:
+                break
+            raw = self._backend.probe_many(
+                [(queries[position], tau) for position in active], stats=stats)
+            wrapped = wrap_batch_matches(raw, stats)
+            still_unsatisfied: list[int] = []
+            for position, found in zip(active, wrapped):
+                best[position] = found
+                if len(found) < k:
+                    still_unsatisfied.append(position)
+            active = still_unsatisfied
+        return [found[:k] for found in best]
+
     def contains_within(self, query: str, tau: int | None = None) -> bool:
         """True when at least one indexed string is within ``tau`` of ``query``."""
         return bool(self.search(query, tau))

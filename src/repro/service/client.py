@@ -126,6 +126,18 @@ class _RequestMixin:
         return payload
 
     @staticmethod
+    def _top_k_batch_payload(queries: Sequence[str], k: int,
+                             max_tau: int | None,
+                             kernel: str | None = None) -> dict:
+        payload: dict = {"op": "top-k-batch", "queries": list(queries),
+                         "k": k}
+        if max_tau is not None:
+            payload["max_tau"] = max_tau
+        if kernel is not None:
+            payload["kernel"] = kernel
+        return payload
+
+    @staticmethod
     def _insert_payload(text: str, record_id: int | None) -> dict:
         payload: dict = {"op": "insert", "text": text}
         if record_id is not None:
@@ -211,6 +223,20 @@ class ServiceClient(_RequestMixin):
               kernel: str | None = None) -> list[SearchMatch]:
         return _parse_matches(
             self.request(self._top_k_payload(query, k, max_tau, kernel)))
+
+    def top_k_batch(self, queries: Sequence[str], k: int,
+                    max_tau: int | None = None, *,
+                    kernel: str | None = None) -> list[list[SearchMatch]]:
+        """Answer many top-k queries with one ``top-k-batch`` request line.
+
+        ``k`` and ``max_tau`` are shared across the batch; the server
+        widens tau in lockstep and retires satisfied queries, so the batch
+        costs far fewer index passes than ``len(queries)`` calls to
+        :meth:`top_k` while returning element-identical results.
+        """
+        return _parse_batch(
+            self.request(self._top_k_batch_payload(queries, k, max_tau,
+                                                   kernel)))
 
     def insert(self, text: str, *, id: int | None = None) -> int:
         return self.request(self._insert_payload(text, id))["id"]
@@ -364,6 +390,15 @@ class AsyncServiceClient(_RequestMixin):
                     kernel: str | None = None) -> list[SearchMatch]:
         return _parse_matches(
             await self.request(self._top_k_payload(query, k, max_tau, kernel)))
+
+    async def top_k_batch(self, queries: Sequence[str], k: int,
+                          max_tau: int | None = None, *,
+                          kernel: str | None = None
+                          ) -> list[list[SearchMatch]]:
+        """Async counterpart of :meth:`ServiceClient.top_k_batch`."""
+        return _parse_batch(
+            await self.request(self._top_k_batch_payload(queries, k, max_tau,
+                                                         kernel)))
 
     async def insert(self, text: str, *, id: int | None = None) -> int:
         return (await self.request(self._insert_payload(text, id)))["id"]

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from ..config import PartitionStrategy
 from ..core.kernel import (SimilarityKernel, check_batch_kernels,
@@ -530,6 +530,82 @@ class DynamicSearcher:
         best = sorted(found.values(), key=SearchMatch.sort_key)[:k]
         self.statistics.num_results += len(best)
         return best
+
+    def search_top_k_many(self, queries: Sequence[str], k: int,
+                          max_tau: int | None = None,
+                          kernel: "str | Sequence[str | None] | None" = None,
+                          ) -> list[list[SearchMatch]]:
+        """Batch :meth:`search_top_k`: widen tau in lockstep across queries.
+
+        One :func:`~repro.core.engine.probe_many` pass per tau round
+        answers every query that still needs matches, so the whole batch
+        shares selection windows (and the backend's persistent window
+        cache) per round instead of re-probing per query.  Each query
+        keeps the incremental semantics of :meth:`search_top_k` exactly:
+        earlier rounds' hits carry over and are excluded from later probes
+        (via the per-query ``accept`` hook of the v2 batch executor),
+        queries with ``k`` matches — or with every live record already
+        matched — retire from later rounds, and rounds no live length can
+        serve are skipped per query.  Duplicate queries in the batch widen
+        once.  Each result list is element-identical to
+        ``search_top_k(query, k, max_tau)`` — the property-test contract.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        check_batch_kernels(self.kernel, kernel)
+        limit = self.max_tau if max_tau is None else min(
+            self.kernel.validate_tau(max_tau), self.max_tau)
+        stats = self.statistics
+        tombstones = self._tombstones
+        live_count = len(self._live)
+
+        unique: dict[str, list[int]] = {}
+        for position, query in enumerate(queries):
+            unique.setdefault(query, []).append(position)
+        states: list[tuple[str, list[int], dict[int, SearchMatch]]] = [
+            (query, positions, {}) for query, positions in unique.items()]
+
+        def make_accept(found: dict[int, SearchMatch],
+                        ) -> Callable[[int], bool]:
+            def accept(record_id: int) -> bool:
+                return record_id not in tombstones and record_id not in found
+            return accept
+
+        active = list(range(len(states)))
+        for tau in range(0, limit + 1):
+            if not active:
+                break
+            still_active: list[int] = []
+            round_members: list[int] = []
+            for state_index in active:
+                query, _, found = states[state_index]
+                if len(found) >= k or len(found) == live_count:
+                    continue  # satisfied (or exhausted): retire permanently
+                still_active.append(state_index)
+                if self._any_live_length_within(query, tau):
+                    round_members.append(state_index)
+            active = still_active
+            if not round_members:
+                continue
+            raw = self._backend.probe_many(
+                [(states[state_index][0], tau)
+                 for state_index in round_members],
+                stats=stats,
+                accept=[make_accept(states[state_index][2])
+                        for state_index in round_members])
+            for state_index, matches in zip(round_members, raw):
+                found = states[state_index][2]
+                for record, distance in matches:
+                    found[record.id] = SearchMatch(distance, record.id,
+                                                   record.text)
+
+        results: list[list[SearchMatch]] = [[] for _ in queries]
+        for _, positions, found in states:
+            best = sorted(found.values(), key=SearchMatch.sort_key)[:k]
+            for position in positions:
+                stats.num_results += len(best)
+                results[position] = list(best)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"DynamicSearcher(live={len(self._live)}, "

@@ -75,13 +75,16 @@ from .sharding import ShardRouter
 QUERY_OPS = ("search", "top-k")
 #: The batch query operation (one request carrying many search queries).
 BATCH_OP = "search-batch"
+#: The batch top-k operation (many queries, one shared ``k``/``max_tau``),
+#: answered through the lockstep-widening ``search_top_k_many`` path.
+TOP_K_BATCH_OP = "top-k-batch"
 #: Fleet-resize admin operations (sharded services only).  The TCP
 #: transport answers these as soon as the migration is planned and drains
 #: it in a background task so queries keep flowing; the transport-free
 #: core drains synchronously unless the request carries ``drain: false``.
 RESHARD_OPS = ("add-shard", "remove-shard")
 #: Every operation the service understands.
-ALL_OPS = QUERY_OPS + (BATCH_OP,) + RESHARD_OPS + (
+ALL_OPS = QUERY_OPS + (BATCH_OP, TOP_K_BATCH_OP) + RESHARD_OPS + (
     "rebalance-status", "insert", "delete", "compact", "stats", "metrics",
     "explain", "kernels", "ping", "shutdown")
 
@@ -253,6 +256,31 @@ class SimilarityService:
         kernel, and a ``kernels`` list naming two different kernels is
         rejected outright — the whole batch fails before any query runs.
         """
+        queries = self._validate_batch_queries(payload)
+        tau = payload.get("tau")
+        return [self.build_query_key({"op": "search", "query": query,
+                                      "tau": tau})
+                for query in queries]
+
+    def build_top_k_batch_keys(self, payload: dict) -> list[QueryKey]:
+        """Validate a ``top-k-batch`` request into per-query top-k keys.
+
+        The request carries ``queries``, a shared ``k`` (required, >= 1) and
+        an optional scalar ``max_tau`` applied to every query.  Batch size,
+        kernel fields, and mixed-batch rejection follow
+        :meth:`build_batch_keys` exactly; each query becomes the same
+        ``("top-k", query, k, limit)`` key the scalar ``top-k`` op builds,
+        so the cache and the sharded epoch-vector widening are shared
+        between the two entry points.
+        """
+        queries = self._validate_batch_queries(payload)
+        k = payload.get("k")
+        max_tau = payload.get("max_tau")
+        return [self.build_query_key({"op": "top-k", "query": query,
+                                      "k": k, "max_tau": max_tau})
+                for query in queries]
+
+    def _validate_batch_queries(self, payload: dict) -> list[str]:
         queries = payload.get("queries")
         if (not isinstance(queries, list)
                 or not all(isinstance(query, str) for query in queries)):
@@ -274,10 +302,7 @@ class SimilarityService:
                 raise ValueError(f"got {len(queries)} queries but "
                                  f"{len(kernels)} kernel names")
             check_batch_kernels(self.searcher.kernel, kernels)
-        tau = payload.get("tau")
-        return [self.build_query_key({"op": "search", "query": query,
-                                      "tau": tau})
-                for query in queries]
+        return queries
 
     def execute_queries(self, keys: Sequence[QueryKey],
                         ) -> list[tuple[list[SearchMatch], bool]]:
@@ -290,7 +315,9 @@ class SimilarityService:
         ``search`` are answered by **one** grouped ``search_many()`` index
         pass over the whole batch (duplicates probed once, same-length
         queries sharing their selection windows) instead of one pass per
-        unique query; top-k misses widen per query as before.
+        unique query; top-k misses are grouped by ``(k, limit)`` and each
+        group widens tau in lockstep through one ``search_top_k_many()``
+        pass, retiring satisfied queries between rounds.
 
         Cache keying depends on the serving backend.  Unsharded, the plain
         query key is presented together with the scalar epoch and a
@@ -315,6 +342,7 @@ class SimilarityService:
         epoch = self.searcher.epoch
         answers: list[tuple[list[SearchMatch], bool] | None] = [None] * len(keys)
         pending: list[tuple[int, QueryKey, QueryKey, int]] = []
+        pending_top_k: list[tuple[int, QueryKey, QueryKey, int]] = []
         leaders: dict[QueryKey, int] = {}
         duplicates: list[tuple[int, int]] = []
         for position, key in enumerate(keys):
@@ -336,10 +364,8 @@ class SimilarityService:
                 continue
             if key[0] == "search":
                 pending.append((position, key, cache_key, cache_epoch))
-                continue
-            matches = self.searcher.search_top_k(key[1], key[2], key[3])
-            self.cache.put(cache_key, cache_epoch, matches)
-            answers[position] = (matches, False)
+            else:
+                pending_top_k.append((position, key, cache_key, cache_epoch))
         if pending:
             search_many = getattr(self.searcher, "search_many", None)
             if search_many is not None:
@@ -352,6 +378,26 @@ class SimilarityService:
                     pending, batches):
                 self.cache.put(cache_key, cache_epoch, matches)
                 answers[position] = (matches, False)
+        if pending_top_k:
+            top_k_many = getattr(self.searcher, "search_top_k_many", None)
+            groups: dict[tuple[int, int],
+                         list[tuple[int, QueryKey, QueryKey, int]]] = {}
+            for entry in pending_top_k:
+                groups.setdefault((entry[1][2], entry[1][3]), []).append(entry)
+            for (k, limit), entries in groups.items():
+                if top_k_many is not None:
+                    # Each (k, limit) group widens tau in lockstep through
+                    # one batch-aware pass instead of one pass per query.
+                    batches = top_k_many(
+                        [key[1] for _, key, _, _ in entries], k, limit)
+                else:  # duck-typed searcher without a batch top-k path
+                    batches = [self.searcher.search_top_k(key[1], key[2],
+                                                          key[3])
+                               for _, key, _, _ in entries]
+                for (position, _, cache_key, cache_epoch), matches in zip(
+                        entries, batches):
+                    self.cache.put(cache_key, cache_epoch, matches)
+                    answers[position] = (matches, False)
         for position, leader in duplicates:
             answers[position] = answers[leader]
         return answers  # type: ignore[return-value]
@@ -411,6 +457,10 @@ class SimilarityService:
                 return self._query_response(matches, cached)
             if op == BATCH_OP:
                 keys = self.build_batch_keys(payload)
+                answers = self.execute_queries(keys)
+                return self._batch_response(answers, self.searcher.epoch)
+            if op == TOP_K_BATCH_OP:
+                keys = self.build_top_k_batch_keys(payload)
                 answers = self.execute_queries(keys)
                 return self._batch_response(answers, self.searcher.epoch)
             if op == "insert":
@@ -857,7 +907,7 @@ class SimilarityServer:
                     op = payload.get("op") if isinstance(payload, dict) else None
                     if op in QUERY_OPS:
                         response = await self._handle_query(payload)
-                    elif op == BATCH_OP:
+                    elif op in (BATCH_OP, TOP_K_BATCH_OP):
                         response = await self._handle_batch(payload)
                     elif op in RESHARD_OPS:
                         response = self._handle_reshard(payload)
@@ -945,12 +995,13 @@ class SimilarityServer:
         return self.service._query_response(matches, cached)
 
     async def _handle_batch(self, payload: dict) -> dict:
-        """Answer one ``search-batch`` request line.
+        """Answer one ``search-batch`` or ``top-k-batch`` request line.
 
         Every query joins the shared :class:`RequestBatcher` batch — so a
         batch request coalesces with whatever concurrent single queries are
         in flight, and the drain answers them all with one grouped
-        ``search_many()`` pass through the serving core.
+        ``search_many()`` (or ``(k, limit)``-grouped ``search_top_k_many()``)
+        pass through the serving core.
 
         Snapshot semantics: answers within one batcher drain share a
         collection snapshot, so a request of up to ``config.max_batch``
@@ -968,8 +1019,11 @@ class SimilarityServer:
         return response
 
     async def _execute_batch(self, payload: dict) -> dict:
+        build_keys = (self.service.build_top_k_batch_keys
+                      if payload.get("op") == TOP_K_BATCH_OP
+                      else self.service.build_batch_keys)
         try:
-            keys = self.service.build_batch_keys(payload)
+            keys = build_keys(payload)
         except (ValueError, TypeError) as error:
             return {"ok": False, "error": str(error)}
         try:

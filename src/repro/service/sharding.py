@@ -186,6 +186,9 @@ def _apply_shard_op(searcher: DynamicSearcher, op: str, args: object) -> object:
     if op == "top-k":
         query, k, limit = args
         return searcher.search_top_k(query, k, limit)
+    if op == "top-k-many":
+        queries, k, limit = args
+        return searcher.search_top_k_many(list(queries), k, limit)
     if op == "insert":
         return searcher.insert(args)
     if op == "delete":
@@ -364,7 +367,7 @@ class _ReplicaState:
 
 #: Ops a fresh replica may serve.  Everything else — mutations, migration
 #: plumbing, status/metrics/records introspection — routes to the primary.
-_READ_OPS = frozenset({"search", "search-many", "top-k"})
+_READ_OPS = frozenset({"search", "search-many", "top-k", "top-k-many"})
 
 #: Ops that move a shard's epoch: after one of these lands on a primary,
 #: the router ships the new mutation-log tail to that shard's replicas.
@@ -1316,6 +1319,42 @@ class ShardRouter:
             return []
         gathered = self._scatter(targets, "top-k", (query, k, limit))
         return self._merge(gathered)[:k]
+
+    def search_top_k_many(self, queries: Sequence[str], k: int,
+                          max_tau: int | None = None,
+                          kernel: "str | Sequence[str | None] | None" = None,
+                          ) -> list[list[SearchMatch]]:
+        """Batch :meth:`search_top_k` in one scatter round.
+
+        Each shard receives only the sub-batch of queries whose probe set
+        (at the widening *limit*) includes it and widens its local batch in
+        lockstep via :meth:`DynamicSearcher.search_top_k_many
+        <repro.service.dynamic.DynamicSearcher.search_top_k_many>`; the
+        router merges each query's per-shard local top-k lists and cuts to
+        ``k`` — exact by the same union argument as :meth:`search_top_k`,
+        and element-identical to sequential per-query top-k calls.
+        Queries whose probe set is empty stay ``[]`` without scattering.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        check_batch_kernels(self.kernel, kernel)
+        limit = self.max_tau if max_tau is None else min(
+            self.kernel.validate_tau(max_tau), self.max_tau)
+        sub_batches: dict[int, list[tuple[int, str]]] = {}
+        for position, query in enumerate(queries):
+            for shard in self._probe_targets(query, limit):
+                sub_batches.setdefault(shard, []).append((position, query))
+        per_query: list[list[Sequence[SearchMatch]]] = [[] for _ in queries]
+        targets = sorted(sub_batches)
+        if targets:
+            gathered = self._scatter_each(
+                targets, "top-k-many",
+                [(tuple(query for _, query in sub_batches[shard]), k, limit)
+                 for shard in targets])
+            for shard, bucket in zip(targets, gathered):
+                for (position, _), matches in zip(sub_batches[shard], bucket):
+                    per_query[position].append(matches)
+        return [self._merge(buckets)[:k] for buckets in per_query]
 
     # ------------------------------------------------------------------
     # Lifecycle

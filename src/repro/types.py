@@ -126,6 +126,8 @@ class JoinStatistics:
     num_matrix_cells: int = 0
     num_early_terminations: int = 0
     num_windows_reused: int = 0
+    num_windows_cache_hits: int = 0
+    num_postings_fanout: int = 0
     index_entries: int = 0
     index_bytes: int = 0
     selection_seconds: float = 0.0

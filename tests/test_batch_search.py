@@ -18,7 +18,7 @@ from repro.search import PassJoinSearcher
 from repro.service import (BackgroundServer, DynamicSearcher, ServiceClient,
                            ShardRouter, SimilarityService)
 from repro.service.client import AsyncServiceClient
-from repro.service.server import ALL_OPS, BATCH_OP
+from repro.service.server import ALL_OPS, BATCH_OP, TOP_K_BATCH_OP
 
 from helpers import random_strings
 
@@ -284,3 +284,231 @@ class TestBatchOverTheWire:
                 queries = ["vldb", "icde", "sigmod"]
                 assert client.search_batch(queries, tau=1) == [
                     client.search(query, tau=1) for query in queries]
+
+
+# ----------------------------------------------------------------------
+# Batch-aware top-k: lockstep widening vs sequential search_top_k
+# ----------------------------------------------------------------------
+class TestTopKManyStatic:
+    def test_matches_sequential(self):
+        strings = random_strings(80, 2, 12, alphabet="abc", seed=21)
+        searcher = PassJoinSearcher(strings, max_tau=2)
+        queries = random_strings(20, 2, 12, alphabet="abc", seed=22)
+        assert searcher.search_top_k_many(queries, 3) == [
+            searcher.search_top_k(query, 3) for query in queries]
+
+    def test_duplicates_and_empty_batch(self):
+        searcher = PassJoinSearcher(["vldb", "pvldb"], max_tau=1)
+        first, second = searcher.search_top_k_many(["vldb", "vldb"], 2)
+        assert first == second == searcher.search_top_k("vldb", 2)
+        assert searcher.search_top_k_many([], 2) == []
+
+    def test_invalid_k(self):
+        searcher = PassJoinSearcher(["vldb"], max_tau=1)
+        with pytest.raises(ValueError):
+            searcher.search_top_k_many(["vldb"], 0)
+
+    def test_token_jaccard_kernel(self):
+        texts = ["a b", "a b c", "b c", "c d", "a"]
+        searcher = PassJoinSearcher(texts, max_tau=80,
+                                    kernel="token-jaccard")
+        queries = ["a b", "c", "d a", "a b"]
+        assert searcher.search_top_k_many(queries, 2) == [
+            searcher.search_top_k(query, 2) for query in queries]
+
+
+class TestTopKManyProperty:
+    @given(ops=MUTATIONS,
+           batch=st.lists(st.text(alphabet="ab", max_size=8),
+                          min_size=1, max_size=6),
+           max_tau=st.integers(min_value=0, max_value=3),
+           k=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_unsharded_dynamic(self, ops, batch, max_tau, k):
+        searcher = DynamicSearcher(max_tau=max_tau, compact_interval=2)
+        live: set[int] = set()
+        _apply(searcher, ops, live)
+        assert searcher.search_top_k_many(batch, k) == [
+            searcher.search_top_k(query, k) for query in batch]
+
+    @pytest.mark.parametrize("policy", ["hash", "length"])
+    @given(ops=MUTATIONS,
+           batch=st.lists(st.text(alphabet="ab", max_size=8),
+                          min_size=1, max_size=5),
+           max_tau=st.integers(min_value=0, max_value=2),
+           k=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_two_shards_both_policies(self, policy, ops, batch, max_tau, k):
+        single = DynamicSearcher(max_tau=max_tau, compact_interval=2)
+        router = ShardRouter(shards=2, max_tau=max_tau, policy=policy,
+                             backend="thread", compact_interval=2)
+        with router:
+            live: set[int] = set()
+            _apply(single, ops, live)
+            live_router: set[int] = set()
+            _apply(router, ops, live_router)
+            expected = [single.search_top_k(query, k) for query in batch]
+            assert router.search_top_k_many(batch, k) == expected
+            assert [router.search_top_k(query, k) for query in batch] \
+                == expected
+
+    def test_mid_resharding_parity(self):
+        strings = random_strings(40, 2, 12, alphabet="abc", seed=31)
+        single = DynamicSearcher(strings, max_tau=2)
+        with ShardRouter(strings, shards=2, max_tau=2, policy="hash",
+                         backend="thread", migration_batch=3) as router:
+            router.add_shard(drain=False)
+            router.migration_step()  # mid-migration: rows dual-present
+            queries = random_strings(10, 2, 12, alphabet="abc", seed=32)
+            assert router.search_top_k_many(queries, 3) == [
+                single.search_top_k(query, 3) for query in queries]
+
+    def test_token_jaccard_dynamic(self):
+        searcher = DynamicSearcher(max_tau=80, kernel="token-jaccard",
+                                   compact_interval=3)
+        for text in ["a b", "a b c", "b c", "c d", "a", "b d"]:
+            searcher.insert(text)
+        searcher.delete(2)
+        queries = ["a b", "c", "d a"]
+        assert searcher.search_top_k_many(queries, 2) == [
+            searcher.search_top_k(query, 2) for query in queries]
+
+
+# ----------------------------------------------------------------------
+# Persistent window cache: reuse across calls, invalidation on purge
+# ----------------------------------------------------------------------
+class TestPersistentWindowCache:
+    def test_cache_hits_accumulate_across_searches(self):
+        searcher = PassJoinSearcher(["vldb", "pvldb", "sigmod"], max_tau=2)
+        searcher.search("vldb", 2)
+        before = searcher.statistics.num_windows_cache_hits
+        searcher.search("vldc", 2)  # same length: windows already cached
+        assert searcher.statistics.num_windows_cache_hits > before
+
+    def test_cache_cleared_when_length_group_disappears(self):
+        searcher = DynamicSearcher(["vldb", "pvldb", "sigmod"], max_tau=2,
+                                   compact_interval=100)
+        backend = searcher._backend
+        searcher.search("vldb", 2)
+        assert len(backend.window_cache) > 0
+        searcher.delete(2)  # the only length-6 record
+        searcher.compact()  # physical purge drops the length group
+        backend.active_window_cache()
+        assert len(backend.window_cache) == 0
+
+    def test_cached_pre_purge_window_never_yields_released_row(self):
+        # Length-4 keeps a survivor, so the length set — and therefore the
+        # window cache — is untouched by the purge: the second search runs
+        # over windows cached *before* the purge and must not resurrect
+        # the released store row.
+        searcher = DynamicSearcher(["vldb", "avdb", "pvldb"], max_tau=2,
+                                   compact_interval=100)
+        backend = searcher._backend
+        version = backend.index.lengths_version
+        first = searcher.search("vldb", 2)
+        assert 1 in {match.id for match in first}
+        assert len(backend.window_cache) > 0
+        searcher.delete(1)
+        searcher.compact()
+        assert backend.index.lengths_version == version
+        assert len(backend.window_cache) > 0  # cache survived the purge
+        again = searcher.search("vldb", 2)
+        assert all(match.id != 1 for match in again)
+        assert again == [match for match in first if match.id != 1]
+
+    def test_cache_cleared_on_evict_below(self):
+        searcher = PassJoinSearcher(["vldb", "pvldb", "sigmod"], max_tau=2)
+        backend = searcher._backend
+        searcher.search("vldb", 2)
+        assert len(backend.window_cache) > 0
+        backend.index.evict_below(10)  # every indexed length is shorter
+        assert backend.index.lengths_version != backend._cache_lengths_version
+        backend.active_window_cache()
+        assert len(backend.window_cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        from repro.core.selection import WindowCache
+
+        with pytest.raises(ValueError):
+            WindowCache(None, capacity=0)
+
+
+# ----------------------------------------------------------------------
+# top-k-batch over the serving core and the wire
+# ----------------------------------------------------------------------
+class TestTopKBatchService:
+    def test_top_k_batch_op(self):
+        service = SimilarityService(["vldb", "pvldb", "sigmod"],
+                                    ServiceConfig(max_tau=2))
+        response = service.handle_request(
+            {"op": "top-k-batch", "queries": ["vldb", "sigmod"], "k": 2})
+        assert response["ok"] is True
+        assert response["results"][0] == [
+            match.to_dict()
+            for match in service.searcher.search_top_k("vldb", 2)]
+        assert response["results"][1] == [
+            match.to_dict()
+            for match in service.searcher.search_top_k("sigmod", 2)]
+        assert response["cached"] == [False, False]
+        assert TOP_K_BATCH_OP in ALL_OPS
+        # The repeat is answered from the cache.
+        again = service.handle_request(
+            {"op": "top-k-batch", "queries": ["vldb", "sigmod"], "k": 2})
+        assert again["cached"] == [True, True]
+
+    def test_top_k_batch_op_validates(self):
+        service = SimilarityService(["vldb"], ServiceConfig(max_tau=1))
+        missing_k = service.handle_request(
+            {"op": "top-k-batch", "queries": ["vldb"]})
+        assert missing_k["ok"] is False and "k" in missing_k["error"]
+        bad_k = service.handle_request(
+            {"op": "top-k-batch", "queries": ["vldb"], "k": 0})
+        assert bad_k["ok"] is False
+        bad_queries = service.handle_request(
+            {"op": "top-k-batch", "queries": "vldb", "k": 1})
+        assert bad_queries["ok"] is False and "queries" in bad_queries["error"]
+
+    def test_execute_queries_groups_top_k_misses(self):
+        service = SimilarityService(["vldb", "pvldb", "sigmod", "icde"],
+                                    ServiceConfig(max_tau=2))
+        keys = [("top-k", "vldb", 2, 2), ("top-k", "sigmod", 2, 2),
+                ("top-k", "icde", 1, 1), ("top-k", "vldb", 2, 2)]
+        answers = service.execute_queries(keys)
+        assert answers[0][0] == service.searcher.search_top_k("vldb", 2, 2)
+        assert answers[1][0] == service.searcher.search_top_k("sigmod", 2, 2)
+        assert answers[2][0] == service.searcher.search_top_k("icde", 1, 1)
+        assert answers[3][0] == answers[0][0]
+
+
+class TestTopKBatchOverTheWire:
+    def test_sync_client_top_k_batch(self):
+        with BackgroundServer(["vldb", "pvldb", "sigmod"],
+                              ServiceConfig(port=0, max_tau=2)) as (host, port):
+            with ServiceClient(host, port) as client:
+                queries = ["vldb", "sigmod", "vldb", "zzz"]
+                batched = client.top_k_batch(queries, 2)
+                assert batched == [client.top_k(query, 2)
+                                   for query in queries]
+
+    def test_async_client_top_k_batch(self):
+        async def scenario(host, port):
+            async with await AsyncServiceClient.connect(host, port) as client:
+                batched = await client.top_k_batch(["vldb", "pvldb"], 2)
+                singles = [await client.top_k(query, 2)
+                           for query in ("vldb", "pvldb")]
+                return batched, singles
+
+        with BackgroundServer(["vldb", "pvldb"],
+                              ServiceConfig(port=0, max_tau=1)) as (host, port):
+            batched, singles = asyncio.run(scenario(host, port))
+            assert batched == singles
+
+    def test_sharded_server_top_k_batch(self):
+        config = ServiceConfig(port=0, max_tau=2, shards=2,
+                               shard_backend="thread")
+        with BackgroundServer(["vldb", "pvldb", "sigmod", "icde"],
+                              config) as (host, port):
+            with ServiceClient(host, port) as client:
+                queries = ["vldb", "icde", "sigmod"]
+                assert client.top_k_batch(queries, 2) == [
+                    client.top_k(query, 2) for query in queries]

@@ -201,12 +201,22 @@ class TestServeAndQuery:
         assert main(["query", "vldb", "--file", str(queries_file)]) == 2
         assert "exactly one" in capsys.readouterr().err
 
-    def test_query_file_rejects_top_k(self, tmp_path, capsys):
+    def test_query_file_with_top_k_batches(self, tmp_path, capsys):
+        from repro.config import ServiceConfig
+        from repro.service import BackgroundServer
+
         queries_file = tmp_path / "queries.txt"
-        queries_file.write_text("vldb\n", encoding="utf-8")
-        assert main(["query", "--file", str(queries_file),
-                     "--top-k", "2"]) == 2
-        assert "--top-k" in capsys.readouterr().err
+        queries_file.write_text("vldb\nsigmod\n", encoding="utf-8")
+        with BackgroundServer(["vldb", "pvldb", "sigmod"],
+                              ServiceConfig(port=0, max_tau=2)) as (host, port):
+            assert main(["query", "--file", str(queries_file),
+                         "--top-k", "2",
+                         "--host", host, "--port", str(port)]) == 0
+            captured = capsys.readouterr()
+            assert "vldb\t0\t0\tvldb" in captured.out
+            assert "vldb\t1\t1\tpvldb" in captured.out
+            assert "sigmod\t2\t0\tsigmod" in captured.out
+            assert "queries=2" in captured.err
 
     def test_serve_wires_flags_into_config(self, strings_file, monkeypatch,
                                            capsys):
